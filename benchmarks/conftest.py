@@ -1,0 +1,22 @@
+"""Benchmark helpers: persist each experiment's rendered output."""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def save_result():
+    """Write an experiment's rendered table next to the benchmarks and
+    echo it so ``pytest -s`` shows the regenerated rows/series."""
+
+    def _save(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

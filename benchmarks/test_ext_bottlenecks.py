@@ -1,0 +1,14 @@
+"""Bench (extension): per-channel bottleneck attribution per method."""
+
+from repro.experiments import ext_bottlenecks
+
+
+def test_ext_bottlenecks(benchmark, save_result):
+    result = benchmark.pedantic(ext_bottlenecks.run, rounds=1,
+                                iterations=1)
+    # The paper's causal story, verified at the channel level:
+    assert result.baseline_bound_by_shared_link()
+    assert result.smart_bound_by_nand()
+    # SU+O+C leaves under 20% of the baseline's shared-link bytes.
+    assert result.smart_sheds_shared_link() < 0.2
+    save_result("ext_bottlenecks", result.render())

@@ -1,0 +1,14 @@
+"""Bench (extension): speedup sensitivity to the CSD product."""
+
+from repro.experiments import ext_csd_sensitivity
+
+
+def test_ext_csd_sensitivity(benchmark, save_result):
+    result = benchmark.pedantic(ext_csd_sensitivity.run, rounds=1,
+                                iterations=1)
+    # Faster internal paths buy more speedup — the baseline is pinned at
+    # the shared link no matter how fast the flash gets (§VIII-C).
+    assert result.faster_internal_path_helps()
+    assert result.speedups["gen5"] > result.speedups["smartssd"]
+    assert all(value > 1.5 for value in result.speedups.values())
+    save_result("ext_csd_sensitivity", result.render())

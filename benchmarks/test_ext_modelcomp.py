@@ -1,0 +1,18 @@
+"""Bench (extension): §VIII-B model compression on Smart-Infinity."""
+
+from repro.experiments import ext_modelcomp
+
+
+def test_ext_modelcomp(benchmark, save_result):
+    result = benchmark.pedantic(ext_modelcomp.run, rounds=1, iterations=1)
+    # CSD-side int8 quantization cuts upstream host reads ~4x ...
+    assert result.quantization_cuts_upstream_4x()
+    # ... without wrecking fine-tuning accuracy (STE works).
+    assert result.accuracies["int8"] > result.accuracies["fp32"] - 0.10
+    # Pruned fine-tuning keeps the mask and still reaches useful accuracy.
+    assert result.pruned_zero_fraction >= 0.45
+    assert result.accuracies["pruned-50%"] > 0.5
+    # The modelled quantized-upstream method is at least as fast.
+    assert result.modelled_speedup["su_o_c_q"] >= result.modelled_speedup[
+        "su_o_c"]
+    save_result("ext_modelcomp", result.render())

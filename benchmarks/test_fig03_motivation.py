@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 3 — motivation breakdown and RAID0 saturation."""
+
+from repro.experiments import fig3
+
+
+def test_fig3_motivation(benchmark, save_result):
+    result = benchmark.pedantic(fig3.run, rounds=1, iterations=1)
+    # (a) the update phase dominates baseline training with 1 SSD.
+    for model_name in fig3.MOTIVATION_MODELS:
+        assert result.update_fraction(model_name) > 0.70
+    # (b) RAID0 saturates around four SSDs, far below linear scaling.
+    assert result.saturation_ssd_count() <= 6
+    assert result.raid_speedups[-1] < 0.45 * 10
+    save_result("fig03_motivation", result.render())

@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig. 9 — full ablation grid (6 models x 2 counts)."""
+
+from repro.experiments import fig9
+
+
+def test_fig9_ablation(benchmark, save_result):
+    result = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    # Headline bands (paper: SU 1.18-1.24 @6, 1.54-1.60 @10; SU+O up to
+    # 1.60-1.66 @10; SU+O+C 1.85-1.98 @10), with modelling margin.
+    lo, hi = result.speedup_range(6, "su")
+    assert 1.00 <= lo and hi <= 1.40
+    lo, hi = result.speedup_range(10, "su")
+    assert 1.35 <= lo and hi <= 1.75
+    lo, hi = result.speedup_range(10, "su_o")
+    assert 1.50 <= lo and hi <= 1.90
+    lo, hi = result.speedup_range(10, "su_o_c")
+    assert 1.75 <= lo and hi <= 2.25
+    # The trend is "almost identical" across models: tight spread.
+    for num_ssds in (6, 10):
+        lo, hi = result.speedup_range(num_ssds, "su_o_c")
+        assert hi - lo < 0.45
+    # Ordering holds in every cell.
+    for model in result.models():
+        for num_ssds in (6, 10):
+            assert (result.speedup(model, num_ssds, "su")
+                    < result.speedup(model, num_ssds, "su_o")
+                    < result.speedup(model, num_ssds, "su_o_c"))
+    save_result("fig09_ablation", result.render())

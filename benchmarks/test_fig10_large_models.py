@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 10 — scalability to 16.6B-33.0B models."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_large_models(benchmark, save_result):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    for num_ssds in (6, 10):
+        # Stable speedups across sizes (paper: nearly constant).
+        assert result.spread(num_ssds) < 0.35
+    for model in fig10.LARGE_MODELS:
+        # More CSDs keep helping even at 33B (paper: 1.37x -> 1.88x).
+        assert result.speedups[(model, 10)] > result.speedups[(model, 6)]
+        assert result.speedups[(model, 6)] > 1.2
+    save_result("fig10_large_models", result.render())

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 11 — device-count scaling and GPU grade."""
+
+from repro.experiments import fig11
+
+
+def test_fig11_scaling(benchmark, save_result):
+    result = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    for gpu_name in ("RTX-A5000", "A100-40GB"):
+        # Baseline saturates at the shared interconnect; Smart-Infinity
+        # keeps scaling with the aggregate internal bandwidth.
+        assert result.baseline_saturates(gpu_name)
+        smart = result.series[gpu_name]["smart"]
+        assert smart[9] > 1.5 * smart[4]
+        assert all(b >= a - 1e-6 for a, b in zip(smart, smart[1:]))
+    # The faster GPU sees the larger speedup (paper: up to 2.11x).
+    assert result.speedup_at("A100-40GB", 10) > result.speedup_at(
+        "RTX-A5000", 10)
+    assert result.speedup_at("A100-40GB", 10) < 2.45
+    save_result("fig11_scaling", result.render())

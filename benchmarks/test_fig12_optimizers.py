@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 12 — SmartUpdate with other optimizers."""
+
+from repro.experiments import fig12
+
+
+def test_fig12_optimizers(benchmark, save_result):
+    result = benchmark.pedantic(fig12.run, rounds=1, iterations=1,
+                                kwargs={"verify_kernels": True})
+    # Adam's 6M state volume means it gains most; SGD/AdaGrad (4M) gain
+    # slightly less but still win (paper Fig. 12).
+    assert result.adam_wins()
+    for optimizer in fig12.OPTIMIZERS:
+        for count in (6, 10):
+            assert result.speedups[optimizer][count] > 1.0
+    assert result.speedups["sgd"][10] > result.speedups["sgd"][6]
+    save_result("fig12_optimizers", result.render())

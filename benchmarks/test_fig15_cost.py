@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 15 — GFLOPS/$ cost efficiency."""
+
+from repro.experiments import fig15
+
+
+def test_fig15_cost(benchmark, save_result):
+    result = benchmark.pedantic(fig15.run, rounds=1, iterations=1)
+    smart = [p.gflops_per_dollar for p in result.series["smart"]]
+    base = [p.gflops_per_dollar for p in result.series["baseline"]]
+    # Smart-Infinity's GFLOPS/$ keeps rising with device count while the
+    # baseline's plateaus once RAID0 saturates (paper Fig. 15).
+    assert smart[9] > smart[5] > smart[2]
+    assert base[9] <= base[5] * 1.05
+    # Beyond the saturation point Smart-Infinity is the clear winner
+    # despite the 6x per-device premium.
+    for index in range(5, 10):
+        assert smart[index] > base[index]
+    save_result("fig15_cost", result.render())

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 16 — sensitivity to the compression ratio."""
+
+from repro.experiments import fig16
+
+
+def test_fig16_ratio(benchmark, save_result):
+    result = benchmark.pedantic(fig16.run, rounds=1, iterations=1)
+    # Every ratio beats uncompressed SU+O, and smaller ratios never lose
+    # to larger ones (paper: speedup "almost gradually increases").
+    assert result.compression_always_helps()
+    assert result.monotone_nonincreasing()
+    save_result("fig16_ratio", result.render())

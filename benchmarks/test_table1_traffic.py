@@ -1,0 +1,19 @@
+"""Bench: regenerate Table I — interconnect traffic, analytic + measured."""
+
+from repro.experiments import table1
+from repro.runtime import expected_traffic
+
+
+def test_table1_traffic(benchmark, save_result):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    # Measured functional-engine bytes equal the closed forms exactly.
+    assert result.matches()
+    # SmartUpdate removes 75% of the baseline's host traffic (8M -> 2M in
+    # each direction for Adam).
+    p = result.num_params_analytic
+    base = expected_traffic(p, "baseline")
+    smart = expected_traffic(p, "smartupdate")
+    reduction = (base["host_reads"] + base["host_writes"]) / (
+        smart["host_reads"] + smart["host_writes"])
+    assert reduction == 4.0
+    save_result("table1_traffic", result.render())

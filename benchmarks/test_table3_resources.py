@@ -1,0 +1,10 @@
+"""Bench: regenerate Table III — FPGA resource utilization."""
+
+from repro.experiments import table3
+
+
+def test_table3_resources(benchmark, save_result):
+    result = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    # Within 0.05 percentage points of every published cell.
+    assert result.max_abs_error() < 0.05
+    save_result("table3_resources", result.render())

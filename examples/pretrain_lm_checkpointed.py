@@ -1,0 +1,85 @@
+"""LM pre-training with the full Smart-Infinity feature set.
+
+The scenario the paper's introduction motivates: next-token training of a
+GPT-style decoder when the optimizer states do not fit above the storage
+tier.  This example stacks every feature of the reproduction:
+
+* block-wise **activation checkpointing** (Fig. 1's dataflow) via a
+  one-line loss_fn swap;
+* **gradient accumulation** over micro-batches;
+* **linear warmup + decay** learning-rate schedule;
+* **SmartComp** Top-K gradient compression with error feedback;
+* a **checkpoint** at the end that could resume under any engine.
+
+Usage::
+
+    python examples/pretrain_lm_checkpointed.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro import SmartInfinityEngine, TrainingConfig
+from repro.nn import (LanguageModel, checkpointed_lm_loss, gpt2_config,
+                      make_lm_dataset)
+from repro.optim import linear_warmup_decay
+from repro.runtime import save_checkpoint
+
+MICRO_BATCH = 4
+ACCUMULATION = 2
+STEPS = 30
+
+
+def loss_fn(model, tokens):
+    # Full-graph equivalent would be: model.loss(tokens).
+    return checkpointed_lm_loss(model, tokens)
+
+
+def main():
+    config = gpt2_config(vocab_size=64, max_seq_len=32, dim=48,
+                         num_layers=4, num_heads=4)
+    model = LanguageModel(config, seed=0)
+    data = make_lm_dataset(num_sequences=MICRO_BATCH * ACCUMULATION
+                           * STEPS, seq_len=33, vocab_size=64, seed=1)
+
+    with tempfile.TemporaryDirectory() as workdir:
+        engine = SmartInfinityEngine(
+            model, loss_fn, workdir, num_csds=4,
+            config=TrainingConfig(optimizer="adamw",
+                                  optimizer_kwargs={"lr": 3e-3,
+                                                    "weight_decay": 0.01},
+                                  subgroup_elements=8192,
+                                  compression_ratio=0.10))
+        engine.set_lr_schedule(linear_warmup_decay(
+            base_lr=3e-3, warmup_steps=5, total_steps=STEPS))
+
+        cursor = 0
+        for step in range(STEPS):
+            micro_batches = []
+            for _micro in range(ACCUMULATION):
+                micro_batches.append(
+                    (data[cursor:cursor + MICRO_BATCH],))
+                cursor += MICRO_BATCH
+            result = engine.train_step_accumulated(micro_batches)
+            if step % 5 == 0 or step == STEPS - 1:
+                print(f"step {result.step:>3}  loss {result.loss:.4f}  "
+                      f"lr {engine.optimizer.lr:.2e}  "
+                      f"grad-offload {result.traffic.host_writes:,} B")
+
+        ckpt = os.path.join(workdir, "pretrain.npz")
+        save_checkpoint(engine, ckpt)
+        print(f"checkpoint written: {os.path.getsize(ckpt):,} bytes "
+              f"(masters + moments + scaler, resumable on any engine)")
+        first, last = engine.loss_history[0], engine.loss_history[-1]
+        engine.close()
+
+    print(f"loss {first:.4f} -> {last:.4f} over {STEPS} steps with "
+          f"{ACCUMULATION}x accumulation, checkpointed blocks, and 10% "
+          "Top-K gradient compression")
+    assert last < first
+
+
+if __name__ == "__main__":
+    main()

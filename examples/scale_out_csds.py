@@ -1,0 +1,54 @@
+"""Scale-out study: how speedup grows with the number of CSDs (Fig. 11).
+
+Uses the discrete-event performance model to sweep 1-10 devices for a
+paper-scale GPT-2 and prints the baseline-vs-Smart-Infinity scaling table
+plus a per-phase breakdown at ten devices — the shape of the paper's
+Fig. 11: the baseline saturates at the shared PCIe interconnect while
+Smart-Infinity rides the aggregate CSD-internal bandwidth.
+
+Usage::
+
+    python examples/scale_out_csds.py [model-name]
+"""
+
+import sys
+
+from repro.hw import default_system
+from repro.nn import get_model
+from repro.perf import make_workload, simulate_iteration
+
+
+def main():
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "gpt2-4.0b"
+    workload = make_workload(get_model(model_name), batch_size=4)
+    print(f"model: {model_name} "
+          f"({workload.num_params / 1e9:.2f}B parameters)")
+    print(f"per-iteration optimizer-state traffic: "
+          f"{workload.optimizer_state_bytes / 1e9:.1f} GB")
+    print()
+
+    print(f"{'#CSDs':>5} {'BASE iter':>10} {'Smart iter':>11} "
+          f"{'speedup':>8}")
+    reference = None
+    for count in range(1, 11):
+        system = default_system(num_csds=count)
+        base = simulate_iteration(system, workload, "baseline")
+        smart = simulate_iteration(system, workload, "su_o_c")
+        reference = reference or base.total
+        print(f"{count:>5} {base.total:>9.2f}s {smart.total:>10.2f}s "
+              f"{base.total / smart.total:>7.2f}x")
+
+    print()
+    system = default_system(num_csds=10)
+    print("phase breakdown at 10 devices (seconds):")
+    print(f"{'method':<10} {'FW':>6} {'BW+Grad':>8} {'Update':>7} "
+          f"{'total':>7}")
+    for method in ("baseline", "su", "su_o", "su_o_c"):
+        breakdown = simulate_iteration(system, workload, method)
+        print(f"{method:<10} {breakdown.forward:>6.2f} "
+              f"{breakdown.backward_grad:>8.2f} "
+              f"{breakdown.update:>7.2f} {breakdown.total:>7.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — a reproduction of Smart-Infinity (HPCA 2024).
+
+Smart-Infinity accelerates storage-offloaded LLM training by moving the
+optimizer update into FPGA accelerators inside computational storage
+devices (SmartSSDs) and compressing gradients on the way down.  This
+package provides:
+
+* :mod:`repro.nn` — a numpy autograd mini-framework with transformer
+  models (the PyTorch stand-in);
+* :mod:`repro.optim` / :mod:`repro.compression` — flat-array optimizers and
+  Top-K gradient compression;
+* :mod:`repro.storage` / :mod:`repro.csd` — a functional storage substrate
+  (real file-backed devices, RAID0) and a functional SmartSSD emulator
+  (HLS-style kernels, resource estimation, the internal transfer handler);
+* :mod:`repro.runtime` — the storage-offloaded training engines: a
+  ZeRO-Infinity-style CPU baseline and the Smart-Infinity engine
+  (SmartUpdate + SmartComp), with exact interconnect-traffic metering;
+* :mod:`repro.sim` / :mod:`repro.hw` / :mod:`repro.perf` — a discrete-event
+  performance model of the PCIe/SSD/FPGA system, calibrated to the paper;
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from .errors import (CapacityError, GradientOverflowError,
+                     HardwareConfigError, KernelError, PartitionError,
+                     ReproError, SimulationError, StorageError,
+                     TrainingError)
+from .runtime import (BaselineOffloadEngine, HostOffloadEngine,
+                      SmartInfinityEngine, StepResult, TrainingConfig,
+                      expected_traffic, load_checkpoint, save_checkpoint)
+from .version import __version__
+
+__all__ = [
+    "BaselineOffloadEngine",
+    "CapacityError",
+    "GradientOverflowError",
+    "HostOffloadEngine",
+    "HardwareConfigError",
+    "KernelError",
+    "PartitionError",
+    "ReproError",
+    "SimulationError",
+    "SmartInfinityEngine",
+    "StepResult",
+    "StorageError",
+    "TrainingConfig",
+    "TrainingError",
+    "__version__",
+    "expected_traffic",
+    "load_checkpoint",
+    "save_checkpoint",
+]

@@ -1,0 +1,170 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    python -m repro list-models
+    python -m repro simulate --model gpt2-8.4b --csds 10 --method su_o_c
+    python -m repro analyze --model gpt2-8.4b --csds 10
+    python -m repro experiment fig9
+
+``experiment`` regenerates any paper table/figure by id; ``simulate``
+runs a single DES configuration; ``analyze`` prints the per-channel
+bottleneck attribution for every method on one machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
+from .hw.gpu import a100_40g, a4000, a5000
+from .hw.topology import default_system
+from .nn.models import ZOO, get_model
+from .perf.analysis import compare_bottlenecks
+from .perf.scenarios import EXTENSION_METHODS, METHODS, simulate_iteration
+from .perf.sweeps import render_sweep, sweep_devices, sweep_models, \
+    sweep_ratios
+from .perf.workload import make_workload
+
+_GPUS = {"a5000": a5000, "a100": a100_40g, "a4000": a4000}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Smart-Infinity (HPCA 2024) reproduction toolkit")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list-models",
+                        help="list the analytic model zoo")
+
+    simulate = commands.add_parser(
+        "simulate", help="simulate one training iteration")
+    simulate.add_argument("--model", default="gpt2-4.0b")
+    simulate.add_argument("--csds", type=int, default=10)
+    simulate.add_argument("--method", default="su_o_c",
+                          choices=METHODS + EXTENSION_METHODS)
+    simulate.add_argument("--gpu", default="a5000", choices=sorted(_GPUS))
+    simulate.add_argument("--batch-size", type=int, default=4)
+    simulate.add_argument("--optimizer", default="adam")
+    simulate.add_argument("--ratio", type=float, default=0.02,
+                          help="SmartComp volume ratio")
+
+    analyze = commands.add_parser(
+        "analyze", help="per-channel bottleneck attribution")
+    analyze.add_argument("--model", default="gpt2-4.0b")
+    analyze.add_argument("--csds", type=int, default=10)
+    analyze.add_argument("--gpu", default="a5000", choices=sorted(_GPUS))
+    analyze.add_argument("--timeline", action="store_true",
+                         help="render an ASCII occupancy timeline of the "
+                              "baseline and SU+O+C runs")
+
+    sweep = commands.add_parser(
+        "sweep", help="sweep one axis and tabulate speedups")
+    sweep.add_argument("axis", choices=("devices", "model", "ratio"))
+    sweep.add_argument("--model", default="gpt2-4.0b")
+    sweep.add_argument("--max-devices", type=int, default=10)
+    sweep.add_argument("--method", default="su_o_c",
+                       choices=METHODS[1:] + EXTENSION_METHODS)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper table/figure")
+    experiment.add_argument(
+        "id",
+        choices=sorted(ALL_EXPERIMENTS) + sorted(EXTENSION_EXPERIMENTS),
+        help="experiment id (e.g. fig9, table1, ext_bottlenecks)")
+    return parser
+
+
+def _cmd_list_models(_args) -> int:
+    print(f"{'name':<14} {'family':<8} {'params':>10} {'dim':>6} "
+          f"{'layers':>7}")
+    for name in sorted(ZOO):
+        spec = ZOO[name]
+        print(f"{name:<14} {spec.family:<8} {spec.billions:>9.2f}B "
+              f"{spec.hidden_dim:>6} {spec.num_layers:>7}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    workload = make_workload(get_model(args.model),
+                             batch_size=args.batch_size,
+                             optimizer=args.optimizer)
+    system = default_system(num_csds=args.csds, gpu=_GPUS[args.gpu]())
+    breakdown = simulate_iteration(system, workload, args.method,
+                                   compression_ratio=args.ratio)
+    base = simulate_iteration(system, workload, "baseline")
+    print(f"model {args.model}, {args.csds} device(s), {args.gpu}, "
+          f"method {args.method}")
+    print(f"  FW              {breakdown.forward:8.3f} s")
+    print(f"  BW + grad       {breakdown.backward_grad:8.3f} s")
+    print(f"  update + opt    {breakdown.update:8.3f} s")
+    print(f"  iteration       {breakdown.total:8.3f} s")
+    if args.method != "baseline":
+        print(f"  speedup vs BASE {breakdown.speedup_over(base):8.2f} x")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    workload = make_workload(get_model(args.model))
+    system = default_system(num_csds=args.csds, gpu=_GPUS[args.gpu]())
+    for method, analysis in compare_bottlenecks(system, workload).items():
+        print(analysis.render())
+        print()
+    if args.timeline:
+        from .perf.scenarios import run_scenario
+        from .sim.trace import render_timeline
+        for method in ("baseline", "su_o_c"):
+            breakdown, fabric = run_scenario(system, workload, method)
+            channels = [fabric.link_up, fabric.link_down, fabric.cpu,
+                        fabric.devices[0].nand_read,
+                        fabric.devices[0].nand_write,
+                        fabric.devices[0].fpga_updater]
+            print(f"--- {method} ---")
+            print(render_timeline(channels, horizon=breakdown.total))
+            print()
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    registry = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
+    print(registry[args.id].run().render())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    if args.axis == "devices":
+        rows = sweep_devices(args.model,
+                             counts=range(1, args.max_devices + 1),
+                             method=args.method)
+        print(render_sweep(rows, "#devices"))
+    elif args.axis == "model":
+        from .nn.models import models_by_family
+        names = [spec.name for spec in models_by_family("gpt2")]
+        rows = sweep_models(names, method=args.method)
+        print(render_sweep(rows, "model"))
+    else:
+        rows = sweep_ratios(args.model, ratios=(0.01, 0.02, 0.05, 0.10))
+        print(render_sweep(rows, "ratio"))
+    return 0
+
+
+_HANDLERS = {
+    "list-models": _cmd_list_models,
+    "sweep": _cmd_sweep,
+    "simulate": _cmd_simulate,
+    "analyze": _cmd_analyze,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Alternative compressors used as baselines/ablations.
+
+The paper settles on magnitude-based Top-K but discusses low-rank
+decomposition (PowerSGD-style) as another option (§IV-C), rejecting it for
+FPGA-implementation cost.  Random-K and a rank-r factorization are provided
+so the accuracy ablations can show *why* magnitude selection is the right
+default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TrainingError
+from .topk import CompressedGradient, keep_count
+
+
+def compress_randomk(gradient: np.ndarray, volume_ratio: float,
+                     rng: np.random.Generator) -> CompressedGradient:
+    """Keep a uniform random subset of elements (same wire format as
+    Top-K, strictly worse direction preservation)."""
+    flat = np.asarray(gradient, dtype=np.float32).reshape(-1)
+    kept = keep_count(flat.size, volume_ratio)
+    indices = np.sort(rng.choice(flat.size, size=kept,
+                                 replace=False)).astype(np.int32)
+    return CompressedGradient(indices=indices, values=flat[indices].copy(),
+                              original_size=flat.size)
+
+
+@dataclass(frozen=True)
+class LowRankGradient:
+    """Rank-r factorization of a gradient reshaped to a matrix."""
+
+    left: np.ndarray
+    right: np.ndarray
+    rows: int
+    cols: int
+    original_size: int
+
+    @property
+    def nbytes(self) -> int:
+        return 4 * (self.left.size + self.right.size)
+
+    @property
+    def volume_ratio(self) -> float:
+        return self.nbytes / (4 * self.original_size)
+
+
+def compress_lowrank(gradient: np.ndarray, rank: int,
+                     num_power_iterations: int = 1,
+                     rng: np.random.Generator = None) -> LowRankGradient:
+    """Power-iteration low-rank approximation (PowerSGD-style).
+
+    The flat gradient is reshaped to the squarest possible matrix, then
+    approximated as ``left @ right`` with ``left`` (rows x r) and ``right``
+    (r x cols).
+    """
+    if rank < 1:
+        raise TrainingError("rank must be >= 1")
+    if num_power_iterations < 1:
+        raise TrainingError("need at least one power iteration")
+    rng = rng or np.random.default_rng(0)
+    flat = np.asarray(gradient, dtype=np.float32).reshape(-1)
+    rows = int(np.floor(np.sqrt(flat.size)))
+    while flat.size % rows != 0:
+        rows -= 1
+    cols = flat.size // rows
+    matrix = flat.reshape(rows, cols)
+
+    right = rng.standard_normal((cols, rank)).astype(np.float32)
+    for _ in range(num_power_iterations):
+        left = matrix @ right                       # (rows, r)
+        q, _ = np.linalg.qr(left)
+        left = q.astype(np.float32)
+        right = (matrix.T @ left).astype(np.float32)  # (cols, r)
+    return LowRankGradient(left=left, right=right.T, rows=rows, cols=cols,
+                           original_size=flat.size)
+
+
+def decompress_lowrank(compressed: LowRankGradient) -> np.ndarray:
+    """Reconstruct the flat gradient from the factorization."""
+    matrix = compressed.left @ compressed.right
+    return matrix.reshape(-1).astype(np.float32)

@@ -1,0 +1,84 @@
+"""1-bit sign compression (the 1-bit Adam lineage, related work [115]).
+
+Sign-based compression sends one bit per gradient element plus a
+per-chunk magnitude scale — a fixed ~1/32 volume ratio, denser coverage
+than Top-K at similar volume but coarser per-element information.  The
+paper's related work notes that error compensation does not directly
+apply to Adam because of its nonlinearity (Tang et al., 2021 freeze the
+variance after a warm-up); we provide the codec and leave the variance-
+freezing schedule to the caller.
+
+Wire format: packed sign bits (1 = non-negative) + one float32 scale per
+``chunk_size`` elements (the mean absolute value of the chunk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TrainingError
+
+
+@dataclass(frozen=True)
+class OneBitGradient:
+    """Packed sign bits + per-chunk mean-magnitude scales."""
+
+    packed_signs: np.ndarray
+    scales: np.ndarray
+    chunk_size: int
+    original_size: int
+
+    def __post_init__(self) -> None:
+        if self.packed_signs.dtype != np.uint8:
+            raise TrainingError("packed signs must be uint8")
+        expected_scales = -(-self.original_size // self.chunk_size)
+        if self.scales.size != expected_scales:
+            raise TrainingError(
+                f"need {expected_scales} scales, got {self.scales.size}")
+        expected_bytes = -(-self.original_size // 8)
+        if self.packed_signs.size != expected_bytes:
+            raise TrainingError(
+                f"need {expected_bytes} sign bytes, got "
+                f"{self.packed_signs.size}")
+
+    @property
+    def nbytes(self) -> int:
+        return self.packed_signs.size + 4 * self.scales.size
+
+    @property
+    def volume_ratio(self) -> float:
+        return self.nbytes / (4 * self.original_size)
+
+
+def compress_onebit(gradient: np.ndarray,
+                    chunk_size: int = 4096) -> OneBitGradient:
+    """Compress to signs + per-chunk mean magnitudes."""
+    if chunk_size <= 0:
+        raise TrainingError("chunk_size must be positive")
+    flat = np.ascontiguousarray(gradient, dtype=np.float32).reshape(-1)
+    signs = flat >= 0
+    packed = np.packbits(signs)
+    num_chunks = -(-flat.size // chunk_size)
+    scales = np.empty(num_chunks, dtype=np.float32)
+    for chunk in range(num_chunks):
+        start = chunk * chunk_size
+        stop = min(start + chunk_size, flat.size)
+        scales[chunk] = np.abs(flat[start:stop]).mean(dtype=np.float64)
+    return OneBitGradient(packed_signs=packed, scales=scales,
+                          chunk_size=chunk_size, original_size=flat.size)
+
+
+def decompress_onebit(compressed: OneBitGradient) -> np.ndarray:
+    """Reconstruct ``sign * chunk_mean_magnitude`` per element."""
+    signs = np.unpackbits(
+        compressed.packed_signs)[:compressed.original_size]
+    directions = np.where(signs, np.float32(1.0), np.float32(-1.0))
+    output = np.empty(compressed.original_size, dtype=np.float32)
+    size = compressed.chunk_size
+    for chunk, scale in enumerate(compressed.scales):
+        start = chunk * size
+        stop = min(start + size, compressed.original_size)
+        output[start:stop] = directions[start:stop] * scale
+    return output

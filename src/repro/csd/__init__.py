@@ -1,0 +1,28 @@
+"""Functional computational-storage emulation: kernels, devices, handler."""
+
+from .device import SmartSSDDevice
+from .handler import (HandlerStats, Subgroup, TransferHandler,
+                      naive_update_pass, plan_subgroups)
+from .hls import (KernelDesign, get_design, register_design,
+                  registered_designs, sanity_check_updater, updater_design)
+from .kernels import (DecompressorKernel, KernelCounters, KernelTimings,
+                      UpdaterKernel)
+
+__all__ = [
+    "DecompressorKernel",
+    "HandlerStats",
+    "KernelCounters",
+    "KernelDesign",
+    "KernelTimings",
+    "SmartSSDDevice",
+    "Subgroup",
+    "TransferHandler",
+    "UpdaterKernel",
+    "get_design",
+    "naive_update_pass",
+    "plan_subgroups",
+    "register_design",
+    "registered_designs",
+    "sanity_check_updater",
+    "updater_design",
+]

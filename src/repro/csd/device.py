@@ -1,0 +1,175 @@
+"""Functional SmartSSD device: SSD + FPGA emulator + internal P2P path.
+
+A :class:`SmartSSDDevice` owns a real file-backed block device (its NVMe
+namespace) and tracks two separate traffic ledgers:
+
+* **host traffic** — bytes moved between the host and the SSD over the
+  shared system interconnect (what Table I measures);
+* **internal traffic** — bytes moved between the SSD and the FPGA over the
+  device's private PCIe switch (invisible to the host link).
+
+The distinction is the entire point of the paper: SmartUpdate converts
+host traffic into internal traffic, which aggregates linearly with the
+number of devices.  FPGA DRAM allocations are checked against the device's
+capacity, so over-subscribing accelerator memory (the OOM problem of §IV-B)
+fails here the same way it does on hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import CapacityError, KernelError
+from ..hw.csd import CSDSpec, smartssd
+from ..storage.blockdev import FileBlockDevice, IOCounters
+from ..storage.tensor_store import TensorStore
+from .kernels import DecompressorKernel, UpdaterKernel
+
+
+class SmartSSDDevice:
+    """One functional CSD with separate host/internal traffic accounting."""
+
+    def __init__(self, path: str, capacity_bytes: int,
+                 spec: Optional[CSDSpec] = None,
+                 device_id: int = 0) -> None:
+        self.spec = spec or smartssd()
+        self.device_id = device_id
+        self.ssd = FileBlockDevice(path, capacity_bytes,
+                                   name=f"csd{device_id}")
+        self.store = TensorStore(self.ssd)
+        self.host_traffic = IOCounters()
+        self.internal_traffic = IOCounters()
+        self._dram_allocated = 0
+        self._dram_buffers: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # accelerator DRAM management
+    # ------------------------------------------------------------------
+    @property
+    def dram_allocated(self) -> int:
+        return self._dram_allocated
+
+    @property
+    def dram_capacity(self) -> int:
+        return int(self.spec.fpga.dram_bytes)
+
+    def allocate_dram(self, name: str, num_elements: int) -> np.ndarray:
+        """Pre-allocate a named float32 buffer in accelerator DRAM.
+
+        Raises :class:`CapacityError` when the device memory would be
+        oversubscribed — the failure mode the transfer handler's buffer
+        reuse exists to avoid.
+        """
+        if name in self._dram_buffers:
+            raise KernelError(f"DRAM buffer {name!r} already allocated")
+        nbytes = 4 * num_elements
+        if self._dram_allocated + nbytes > self.dram_capacity:
+            raise CapacityError(
+                f"csd{self.device_id}: DRAM OOM allocating {name!r} "
+                f"({nbytes} B; {self._dram_allocated} of "
+                f"{self.dram_capacity} B in use)")
+        buffer = np.zeros(num_elements, dtype=np.float32)
+        self._dram_buffers[name] = buffer
+        self._dram_allocated += nbytes
+        return buffer
+
+    def free_dram(self, name: str) -> None:
+        buffer = self._dram_buffers.pop(name, None)
+        if buffer is None:
+            raise KernelError(f"DRAM buffer {name!r} not allocated")
+        self._dram_allocated -= 4 * buffer.size
+
+    def dram_buffer(self, name: str) -> np.ndarray:
+        try:
+            return self._dram_buffers[name]
+        except KeyError:
+            raise KernelError(f"DRAM buffer {name!r} not allocated")
+
+    # ------------------------------------------------------------------
+    # host path (crosses the shared system interconnect)
+    # ------------------------------------------------------------------
+    def host_write(self, region: str, array: np.ndarray,
+                   start: int = 0) -> None:
+        """Host -> SSD write (e.g. gradient offload during backward)."""
+        self.store.write_slice(region, start, array)
+        self.host_traffic.bytes_written += array.size * array.itemsize
+        self.host_traffic.write_ops += 1
+
+    def host_read(self, region: str, start: int = 0,
+                  count: Optional[int] = None) -> np.ndarray:
+        """SSD -> host read (e.g. updated parameters going upstream)."""
+        if count is None:
+            count = self.store.region(region).num_elements - start
+        array = self.store.read_slice(region, start, count)
+        self.host_traffic.bytes_read += array.size * array.itemsize
+        self.host_traffic.read_ops += 1
+        return array
+
+    # ------------------------------------------------------------------
+    # internal P2P path (SSD <-> FPGA through the private switch)
+    # ------------------------------------------------------------------
+    def p2p_read_into(self, region: str, start: int,
+                      buffer: np.ndarray, count: int) -> np.ndarray:
+        """SSD -> FPGA DRAM read into a pre-allocated buffer slice."""
+        if count > buffer.size:
+            raise CapacityError(
+                f"p2p read of {count} elements exceeds buffer of "
+                f"{buffer.size}")
+        data = self.store.read_slice(region, start, count)
+        buffer[:count] = data
+        self.internal_traffic.bytes_read += 4 * count
+        self.internal_traffic.read_ops += 1
+        return buffer[:count]
+
+    def p2p_read(self, region: str, start: int,
+                 count: Optional[int] = None) -> np.ndarray:
+        """SSD -> FPGA DRAM read returning a fresh array (any dtype).
+
+        Used for variable-format streams like compressed gradients, where
+        the FPGA consumes the data directly rather than staging it in a
+        float32 working buffer.
+        """
+        if count is None:
+            count = self.store.region(region).num_elements - start
+        array = self.store.read_slice(region, start, count)
+        self.internal_traffic.bytes_read += array.size * array.itemsize
+        self.internal_traffic.read_ops += 1
+        return array
+
+    def p2p_write_from(self, region: str, start: int,
+                       buffer: np.ndarray, count: int) -> None:
+        """FPGA DRAM -> SSD write from a buffer slice."""
+        self.store.write_slice(region, start, buffer[:count])
+        self.internal_traffic.bytes_written += 4 * count
+        self.internal_traffic.write_ops += 1
+
+    def p2p_write(self, region: str, start: int,
+                  array: np.ndarray) -> None:
+        """FPGA DRAM -> SSD write of an arbitrary-dtype array (e.g. the
+        quantized int8 masters of the §VIII-B extension)."""
+        self.store.write_slice(region, start, array)
+        self.internal_traffic.bytes_written += array.size * array.itemsize
+        self.internal_traffic.write_ops += 1
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def make_updater(self, optimizer,
+                     chunk_elements: int = 16_384) -> UpdaterKernel:
+        return UpdaterKernel(optimizer, chunk_elements=chunk_elements)
+
+    def make_decompressor(self,
+                          chunk_elements: int = 16_384
+                          ) -> DecompressorKernel:
+        return DecompressorKernel(chunk_elements=chunk_elements)
+
+    def close(self) -> None:
+        self.ssd.close()
+
+    def __enter__(self) -> "SmartSSDDevice":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

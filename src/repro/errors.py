@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency inside the discrete-event simulation kernel."""
+
+
+class HardwareConfigError(ReproError):
+    """An invalid hardware description (bandwidths, topology, resources)."""
+
+
+class CapacityError(ReproError):
+    """A device buffer or memory capacity was exceeded."""
+
+
+class StorageError(ReproError):
+    """A failure in the functional storage substrate (block devices, RAID)."""
+
+
+class KernelError(ReproError):
+    """A CSD kernel was misconfigured or failed its sanity check."""
+
+
+class PartitionError(ReproError):
+    """Parameter flattening/partitioning produced an inconsistent layout."""
+
+
+class TrainingError(ReproError):
+    """A failure inside the training runtime (engine misuse, divergence)."""
+
+
+class GradientOverflowError(TrainingError):
+    """Gradients contained NaN/Inf after unscaling; the step must be skipped."""

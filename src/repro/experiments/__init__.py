@@ -1,0 +1,34 @@
+"""Per-experiment reproduction modules (one per paper table/figure)."""
+
+from . import (ext_bottlenecks, ext_csd_sensitivity, ext_modelcomp, fig3,
+               fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16,
+               fig17, table1, table3, table4)
+from .report import fmt_bytes, render_table
+
+#: Extension studies beyond the paper's evaluation section.
+EXTENSION_EXPERIMENTS = {
+    "ext_bottlenecks": ext_bottlenecks,
+    "ext_csd_sensitivity": ext_csd_sensitivity,
+    "ext_modelcomp": ext_modelcomp,
+}
+
+#: Experiment registry: id -> module (each has run() and Result.render()).
+ALL_EXPERIMENTS = {
+    "fig3": fig3,
+    "table1": table1,
+    "table3": table3,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+    "table4": table4,
+}
+
+__all__ = (["ALL_EXPERIMENTS", "EXTENSION_EXPERIMENTS", "fmt_bytes",
+            "render_table"] + sorted(ALL_EXPERIMENTS)
+           + sorted(EXTENSION_EXPERIMENTS))

@@ -1,0 +1,105 @@
+"""Fig. 14 — accelerator module throughput vs SSD read/write.
+
+The paper's point: the updater (> 7 GB/s) comfortably outruns the SSD, and
+the decompressor slightly exceeds SSD read bandwidth, so neither module
+ever throttles the storage pipeline.  We report both the *calibrated
+hardware model* numbers (what the DES uses) and the *measured* throughput
+of the functional numpy kernels on this machine (for transparency — the
+emulator must also be fast enough not to distort functional experiments).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..compression.topk import compress_topk
+from ..csd.kernels import DecompressorKernel, UpdaterKernel
+from ..hw.csd import smartssd
+from ..optim import Adam
+from .report import render_table
+
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    """Modelled and measured module throughput (bytes/s)."""
+
+    modelled: Dict[str, float]
+    measured: Dict[str, float]
+
+    def updater_exceeds_ssd(self) -> bool:
+        return (self.modelled["updater"] > self.modelled["ssd_read"]
+                and self.modelled["updater"] > self.modelled["ssd_write"])
+
+    def decompressor_covers_read(self) -> bool:
+        return self.modelled["decompressor"] >= self.modelled["ssd_read"]
+
+    def render(self) -> str:
+        rows = [(name, f"{value / GB:.2f} GB/s")
+                for name, value in self.modelled.items()]
+        part_a = render_table(("module", "throughput"), rows,
+                              title="Fig 14 (hardware model)")
+        rows_b = [(name, f"{value / GB:.2f} GB/s")
+                  for name, value in self.measured.items()]
+        part_b = render_table(
+            ("functional kernel", "throughput on this host"), rows_b,
+            title="Functional emulator throughput (numpy)")
+        return part_a + "\n\n" + part_b
+
+
+def _measure_updater(num_elements: int = 1 << 21,
+                     repeats: int = 3) -> float:
+    """Streamed optimizer-state bytes per second of the numpy updater."""
+    rng = np.random.default_rng(0)
+    kernel = UpdaterKernel(Adam(lr=1e-3))
+    params = rng.standard_normal(num_elements).astype(np.float32)
+    grads = rng.standard_normal(num_elements).astype(np.float32)
+    state = kernel.optimizer.init_state(num_elements)
+    kernel.run(params, grads, state, 1)  # warm-up
+    start = time.perf_counter()
+    for step in range(2, repeats + 2):
+        kernel.run(params, grads, state, step)
+    elapsed = time.perf_counter() - start
+    streamed = 4 * (1 + kernel.optimizer.states_per_param) * num_elements
+    return streamed * repeats / elapsed
+
+
+def _measure_decompressor(num_elements: int = 1 << 21,
+                          repeats: int = 3) -> float:
+    """Dense output bytes per second of the numpy Top-K scatter."""
+    rng = np.random.default_rng(1)
+    gradient = rng.standard_normal(num_elements).astype(np.float32)
+    compressed = compress_topk(gradient, volume_ratio=0.02)
+    kernel = DecompressorKernel()
+    output = np.zeros(num_elements, dtype=np.float32)
+    kernel.run(compressed, output)  # warm-up
+    start = time.perf_counter()
+    for _ in range(repeats):
+        kernel.run(compressed, output)
+    elapsed = time.perf_counter() - start
+    return 4 * num_elements * repeats / elapsed
+
+
+def run(measure: bool = True) -> Fig14Result:
+    """Regenerate Fig. 14's comparison."""
+    csd = smartssd()
+    modelled = {
+        "updater": csd.fpga.updater_bandwidth,
+        "decompressor": csd.fpga.decompressor_bandwidth,
+        "ssd_read": csd.ssd.read_bandwidth,
+        "ssd_write": csd.ssd.write_bandwidth,
+    }
+    measured = {}
+    if measure:
+        measured["updater"] = _measure_updater()
+        measured["decompressor"] = _measure_decompressor()
+    return Fig14Result(modelled=modelled, measured=measured)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run().render())

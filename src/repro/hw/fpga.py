@@ -1,0 +1,96 @@
+"""FPGA accelerator model for the CSD's near-storage compute engine.
+
+Two concerns are modelled separately:
+
+* **Resources** (:class:`FPGAResources`) — LUT/BRAM/URAM/DSP counts, used by
+  the HLS resource estimator (`repro.csd.hls`) to reproduce the utilization
+  table (Table III) and to reject kernels that do not fit.
+* **Throughput** (:class:`FPGASpec`) — bytes/s the updater and decompressor
+  pipelines stream, calibrated to the paper's Fig. 14 (updater > 7 GB/s,
+  decompressor slightly above SSD read bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareConfigError
+
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class FPGAResources:
+    """Resource inventory of an FPGA part."""
+
+    luts: int
+    brams: int
+    urams: int
+    dsps: int
+
+    def __post_init__(self) -> None:
+        if min(self.luts, self.brams, self.urams, self.dsps) < 0:
+            raise HardwareConfigError("FPGA resource counts must be >= 0")
+
+    def fits(self, usage: "FPGAResources") -> bool:
+        """Whether ``usage`` fits inside this inventory."""
+        return (usage.luts <= self.luts and usage.brams <= self.brams
+                and usage.urams <= self.urams and usage.dsps <= self.dsps)
+
+    def __add__(self, other: "FPGAResources") -> "FPGAResources":
+        return FPGAResources(
+            luts=self.luts + other.luts,
+            brams=self.brams + other.brams,
+            urams=self.urams + other.urams,
+            dsps=self.dsps + other.dsps,
+        )
+
+    def utilization_of(self, total: "FPGAResources") -> dict:
+        """Percent utilization of each resource class against ``total``."""
+        def pct(used: int, avail: int) -> float:
+            return 100.0 * used / avail if avail else 0.0
+
+        return {
+            "LUT": pct(self.luts, total.luts),
+            "BRAM": pct(self.brams, total.brams),
+            "URAM": pct(self.urams, total.urams),
+            "DSP": pct(self.dsps, total.dsps),
+        }
+
+
+@dataclass(frozen=True)
+class FPGASpec:
+    """One FPGA accelerator as found inside a SmartSSD."""
+
+    name: str
+    resources: FPGAResources
+    dram_bytes: float
+    #: Streaming throughput of the optimizer-update pipeline, bytes/s.
+    updater_bandwidth: float
+    #: Streaming throughput of the Top-K decompressor, bytes/s of output.
+    decompressor_bandwidth: float
+    #: Kernel launch overhead per invocation, seconds.
+    kernel_launch_latency: float = 30e-6
+
+    def __post_init__(self) -> None:
+        if self.dram_bytes <= 0:
+            raise HardwareConfigError(f"{self.name}: DRAM must be > 0")
+        if self.updater_bandwidth <= 0 or self.decompressor_bandwidth <= 0:
+            raise HardwareConfigError(
+                f"{self.name}: pipeline bandwidths must be positive")
+
+
+def ku15p() -> FPGASpec:
+    """Xilinx Kintex UltraScale+ KU15P, the SmartSSD's FPGA.
+
+    Resource counts follow the paper (~522K LUTs, 984 BRAMs, 128 URAMs,
+    1968 DSPs, 4 GB DDR4); pipeline throughputs follow Fig. 14.
+    """
+    return FPGASpec(
+        name="KU15P",
+        resources=FPGAResources(luts=522_000, brams=984, urams=128,
+                                dsps=1968),
+        dram_bytes=4 * GB,
+        updater_bandwidth=7.2 * GB,
+        decompressor_bandwidth=3.5 * GB,
+    )

@@ -1,0 +1,87 @@
+"""PCIe link modelling.
+
+Bandwidth figures are per-lane effective data rates after 128b/130b (Gen3+)
+or 8b/10b (Gen1/2) encoding.  Real links additionally lose a few percent to
+TLP/DLLP framing overhead, which the ``efficiency`` factor captures; the
+default of 0.82 reproduces the commonly measured ~12.8 GB/s on a Gen3 x16
+link — exactly the host interconnect ceiling the paper's RAID0 experiment
+(Fig. 3b) saturates against at four SSDs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import HardwareConfigError
+
+GB = 1e9
+
+#: Per-lane raw data rate in bytes/s after line encoding, by generation.
+_LANE_RATE = {
+    1: 0.25 * GB,
+    2: 0.5 * GB,
+    3: 0.985 * GB,
+    4: 1.969 * GB,
+    5: 3.938 * GB,
+}
+
+#: Default protocol efficiency (TLP headers, flow control, ACKs).
+DEFAULT_EFFICIENCY = 0.82
+
+_VALID_WIDTHS = (1, 2, 4, 8, 16)
+
+
+class PCIeGen(enum.IntEnum):
+    """PCI Express generation."""
+
+    GEN1 = 1
+    GEN2 = 2
+    GEN3 = 3
+    GEN4 = 4
+    GEN5 = 5
+
+    @property
+    def lane_rate(self) -> float:
+        """Raw bytes/s per lane after line encoding."""
+        return _LANE_RATE[int(self)]
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """A point-to-point PCIe link of a given generation and width."""
+
+    gen: PCIeGen
+    lanes: int
+    efficiency: float = DEFAULT_EFFICIENCY
+    #: One-way command latency in seconds (doorbell + completion).
+    latency: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.lanes not in _VALID_WIDTHS:
+            raise HardwareConfigError(
+                f"invalid PCIe width x{self.lanes}; must be one of "
+                f"{_VALID_WIDTHS}")
+        if not 0 < self.efficiency <= 1:
+            raise HardwareConfigError(
+                f"PCIe efficiency must be in (0, 1], got {self.efficiency}")
+        if self.latency < 0:
+            raise HardwareConfigError("PCIe latency must be non-negative")
+
+    @property
+    def bandwidth(self) -> float:
+        """Effective one-direction bandwidth in bytes/s."""
+        return self.gen.lane_rate * self.lanes * self.efficiency
+
+    def label(self) -> str:
+        return f"PCIe Gen{int(self.gen)} x{self.lanes}"
+
+
+def gen3_x4() -> PCIeLink:
+    """The SmartSSD's internal/external link: PCIe Gen3 x4 (~3.2 GB/s)."""
+    return PCIeLink(PCIeGen.GEN3, 4)
+
+
+def gen3_x16() -> PCIeLink:
+    """A host CPU root-port link: PCIe Gen3 x16 (~12.9 GB/s effective)."""
+    return PCIeLink(PCIeGen.GEN3, 16)

@@ -1,0 +1,73 @@
+"""Software RAID0 bandwidth model (the mdadm setup of the baseline).
+
+RAID0 stripes data across ``n`` member devices, so the array's raw
+sequential bandwidth is ``n`` times the member bandwidth — but every byte
+still crosses the *shared* host interconnect, so delivered bandwidth is
+clamped by the host link.  This clamp is the saturation the paper's Fig. 3b
+demonstrates: beyond four SSDs, adding members buys nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareConfigError
+from .ssd import SSDSpec
+
+
+@dataclass(frozen=True)
+class RAID0Spec:
+    """A striped array of identical member SSDs."""
+
+    member: SSDSpec
+    num_members: int
+    #: Bandwidth of the shared path to the host in bytes/s.
+    host_link_bandwidth: float
+    #: Striping overhead factor (request splitting, md layer CPU).
+    efficiency: float = 0.97
+
+    def __post_init__(self) -> None:
+        if self.num_members < 1:
+            raise HardwareConfigError("RAID0 needs at least one member")
+        if self.host_link_bandwidth <= 0:
+            raise HardwareConfigError("host link bandwidth must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise HardwareConfigError("RAID efficiency must be in (0, 1]")
+
+    @property
+    def capacity_bytes(self) -> float:
+        return self.member.capacity_bytes * self.num_members
+
+    @property
+    def read_bandwidth(self) -> float:
+        """Delivered sequential read bandwidth at the host."""
+        raw = self.member.read_bandwidth * self.num_members * self.efficiency
+        return min(raw, self.host_link_bandwidth)
+
+    @property
+    def write_bandwidth(self) -> float:
+        """Delivered sequential write bandwidth at the host."""
+        raw = self.member.write_bandwidth * self.num_members * self.efficiency
+        return min(raw, self.host_link_bandwidth)
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the host link, not the members, limits read bandwidth."""
+        raw = self.member.read_bandwidth * self.num_members * self.efficiency
+        return raw >= self.host_link_bandwidth
+
+    def read_time(self, nbytes: float) -> float:
+        return self.member.latency + nbytes / self.read_bandwidth
+
+    def write_time(self, nbytes: float) -> float:
+        return self.member.latency + nbytes / self.write_bandwidth
+
+
+def saturation_point(member: SSDSpec, host_link_bandwidth: float,
+                     efficiency: float = 0.97) -> int:
+    """Smallest member count at which RAID0 reads saturate the host link."""
+    count = 1
+    while (member.read_bandwidth * count * efficiency
+           < host_link_bandwidth):
+        count += 1
+    return count

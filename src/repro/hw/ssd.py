@@ -1,0 +1,58 @@
+"""NVMe SSD device model.
+
+The model is a pair of bandwidths (sequential read / sequential write) plus a
+fixed per-command latency.  Storage-offloaded training issues large
+sequential transfers (whole optimizer-state subgroups), so sequential
+bandwidth is the regime that matters; the paper's observation that "the
+write bandwidth is often far lower than that of the read" is captured by the
+asymmetric defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareConfigError
+
+GB = 1e9
+TB = 1e12
+
+
+@dataclass(frozen=True)
+class SSDSpec:
+    """Performance/capacity description of one NVMe SSD."""
+
+    name: str
+    capacity_bytes: float
+    read_bandwidth: float
+    write_bandwidth: float
+    #: Per-command latency (queueing + flash access) in seconds.
+    latency: float = 60e-6
+    cost_usd: float = 400.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise HardwareConfigError(f"{self.name}: capacity must be > 0")
+        if self.read_bandwidth <= 0 or self.write_bandwidth <= 0:
+            raise HardwareConfigError(
+                f"{self.name}: bandwidths must be positive")
+        if self.latency < 0:
+            raise HardwareConfigError(f"{self.name}: negative latency")
+
+    def read_time(self, nbytes: float) -> float:
+        """Seconds to sequentially read ``nbytes``."""
+        return self.latency + nbytes / self.read_bandwidth
+
+    def write_time(self, nbytes: float) -> float:
+        """Seconds to sequentially write ``nbytes``."""
+        return self.latency + nbytes / self.write_bandwidth
+
+
+def smartssd_nand() -> SSDSpec:
+    """The 4TB NVMe SSD inside a Samsung SmartSSD (calibrated to Fig. 14)."""
+    return SSDSpec(
+        name="SmartSSD-NAND-4TB",
+        capacity_bytes=4 * TB,
+        read_bandwidth=3.2 * GB,
+        write_bandwidth=3.0 * GB,
+    )

@@ -1,0 +1,17 @@
+"""Model-compression extensions on top of Smart-Infinity (§VIII-B)."""
+
+from .pruning import PruningMask, magnitude_mask
+from .quantization import (QMAX, QuantizedTensor, QuantizerKernel,
+                           dequantize_int8, quantization_error,
+                           quantize_int8)
+
+__all__ = [
+    "PruningMask",
+    "QMAX",
+    "QuantizedTensor",
+    "QuantizerKernel",
+    "dequantize_int8",
+    "magnitude_mask",
+    "quantization_error",
+    "quantize_int8",
+]

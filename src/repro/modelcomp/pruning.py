@@ -1,0 +1,65 @@
+"""Magnitude pruning for fine-tuning in compressed form (§VIII-B).
+
+Pruning keeps a sparsity mask over the flat parameter space; fine-tuning
+then recovers the accuracy lost to the pruning step.  The mask is applied
+to the FP16 working copy after every update (the masters stay dense so
+the optimizer state remains well-defined), which is the standard
+"fine-tune the pruned network" recipe the paper points at as a
+Smart-Infinity use case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TrainingError
+
+
+@dataclass(frozen=True)
+class PruningMask:
+    """A boolean keep-mask over the flat parameter space."""
+
+    keep: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.keep.dtype != np.bool_ or self.keep.ndim != 1:
+            raise TrainingError("mask must be a flat boolean array")
+
+    @property
+    def num_elements(self) -> int:
+        return int(self.keep.size)
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of parameters pruned away."""
+        return 1.0 - float(self.keep.mean())
+
+    def apply(self, flat: np.ndarray) -> np.ndarray:
+        """Zero the pruned coordinates in place; returns ``flat``."""
+        if flat.size != self.keep.size:
+            raise TrainingError(
+                f"mask covers {self.keep.size} elements, got {flat.size}")
+        flat[~self.keep] = 0.0
+        return flat
+
+    def slice(self, start: int, count: int) -> "PruningMask":
+        """Sub-mask for a flat range (one CSD shard or subgroup)."""
+        if start < 0 or start + count > self.keep.size:
+            raise TrainingError("mask slice out of range")
+        return PruningMask(keep=self.keep[start:start + count])
+
+
+def magnitude_mask(flat_params: np.ndarray,
+                   sparsity: float) -> PruningMask:
+    """Keep the largest-magnitude ``1 - sparsity`` fraction of weights."""
+    if not 0.0 <= sparsity < 1.0:
+        raise TrainingError(f"sparsity must be in [0, 1), got {sparsity}")
+    flat = np.asarray(flat_params, dtype=np.float32).reshape(-1)
+    keep = np.ones(flat.size, dtype=bool)
+    num_pruned = int(flat.size * sparsity)
+    if num_pruned > 0:
+        smallest = np.argpartition(np.abs(flat), num_pruned - 1)
+        keep[smallest[:num_pruned]] = False
+    return PruningMask(keep=keep)

@@ -1,0 +1,70 @@
+"""Mini deep-learning framework: numpy autograd, modules, transformers."""
+
+from . import functional
+from .checkpoint import (checkpointed_classifier_loss, checkpointed_lm_loss,
+                         checkpointed_loss)
+from .data import (ClassificationDataset, GLUE_TASKS, make_classification_dataset,
+                   make_glue_suite, make_lm_dataset)
+from .models import ModelSpec, ZOO, get_model, models_by_family
+from .modules import (Dropout, Embedding, LayerNorm, Linear, Module,
+                      Parameter, Sequential)
+from .parallel import (CommMeter, TensorParallelAttention,
+                       TensorParallelMLP, expected_allreduce_bytes)
+from .precision import (LossScaler, clip_gradients, from_fp16,
+                        global_grad_norm, has_overflow, to_fp16)
+from .tensor import (Tensor, concatenate, is_grad_enabled, no_grad,
+                     ones, tensor, zeros)
+from .transformer import (LanguageModel, MultiHeadAttention, SequenceClassifier,
+                          TransformerBackbone, TransformerBlock,
+                          TransformerConfig, bert_config, bloom_config,
+                          gpt2_config, vit_config)
+
+__all__ = [
+    "ClassificationDataset",
+    "CommMeter",
+    "Dropout",
+    "Embedding",
+    "GLUE_TASKS",
+    "LanguageModel",
+    "LayerNorm",
+    "Linear",
+    "LossScaler",
+    "ModelSpec",
+    "Module",
+    "MultiHeadAttention",
+    "Parameter",
+    "SequenceClassifier",
+    "Sequential",
+    "Tensor",
+    "TensorParallelAttention",
+    "TensorParallelMLP",
+    "TransformerBackbone",
+    "TransformerBlock",
+    "TransformerConfig",
+    "ZOO",
+    "bert_config",
+    "checkpointed_classifier_loss",
+    "checkpointed_lm_loss",
+    "checkpointed_loss",
+    "bloom_config",
+    "clip_gradients",
+    "concatenate",
+    "expected_allreduce_bytes",
+    "from_fp16",
+    "functional",
+    "get_model",
+    "global_grad_norm",
+    "gpt2_config",
+    "has_overflow",
+    "is_grad_enabled",
+    "make_classification_dataset",
+    "make_glue_suite",
+    "make_lm_dataset",
+    "models_by_family",
+    "no_grad",
+    "ones",
+    "tensor",
+    "to_fp16",
+    "vit_config",
+    "zeros",
+]

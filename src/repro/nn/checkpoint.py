@@ -1,0 +1,129 @@
+"""Block-wise activation checkpointing (the Fig. 1 forward/backward).
+
+Storage-offloaded training splits the model into blocks sized to what the
+GPU can hold: the forward pass keeps only the *block boundary* activations
+(checkpointed "to host memory" in the paper's Fig. 1a), and the backward
+pass re-materializes each block's internal graph one block at a time
+(Fig. 1b), so peak autograd memory is one block's worth instead of the
+whole model's.
+
+Implementation: the forward of every block runs under :func:`no_grad`
+(no graph retained) while the boundary inputs are stored; the loss tensor
+returned carries a custom backward closure that walks the blocks in
+reverse, re-running each block's forward *with* grad from its stored
+boundary input and backpropagating the incoming delta through that local
+graph into the shared parameters.  Because the recomputation executes the
+exact same float ops on the same data, gradients are **bit-identical** to
+full-graph training (asserted in tests) — so the engines can adopt it
+with a one-line loss_fn change and keep every equivalence guarantee.
+
+Dropout must be disabled (rate 0) for checkpointed models: recomputation
+would redraw the masks.  :func:`checkpointed_loss` enforces this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from ..errors import TrainingError
+from .modules import Module
+from .tensor import Tensor, no_grad
+from .transformer import TransformerBackbone
+
+
+def _block_list(backbone: TransformerBackbone) -> List[Module]:
+    return [getattr(backbone, f"block{index}")
+            for index in range(backbone._num_blocks)]
+
+
+def _check_no_dropout(backbone: TransformerBackbone) -> None:
+    if backbone.config.dropout != 0.0:
+        raise TrainingError(
+            "activation checkpointing requires dropout=0 (recomputation "
+            "would redraw dropout masks)")
+
+
+def _embed(backbone: TransformerBackbone, tokens: np.ndarray) -> Tensor:
+    x = backbone.token_embed(tokens)
+    if backbone.pos_embed is not None:
+        x = x + backbone.pos_embed(np.arange(tokens.shape[1]))
+    return backbone.drop(x)
+
+
+def checkpointed_loss(backbone: TransformerBackbone,
+                      head_fn: Callable[[Tensor], Tensor],
+                      tokens: np.ndarray) -> Tensor:
+    """Compute ``head_fn(backbone(tokens))`` with block checkpointing.
+
+    ``head_fn`` maps the final-norm output to a scalar loss (it owns the
+    final LayerNorm/classifier/LM head and the loss computation).  The
+    returned scalar behaves exactly like a full-graph loss tensor —
+    ``backward()`` (including through a loss-scaling multiply) fills every
+    parameter's ``.grad`` — but only one block's graph is ever alive.
+    """
+    tokens = np.asarray(tokens)
+    _check_no_dropout(backbone)
+    blocks = _block_list(backbone)
+
+    # Forward: no graph, store block-boundary activations.
+    boundaries: List[np.ndarray] = []
+    with no_grad():
+        x = _embed(backbone, tokens)
+        for block in blocks:
+            boundaries.append(x.data)
+            x = block(x)
+        backbone_out = x.data
+
+    # Head with grad, from the backbone output as a graph leaf.
+    head_leaf = Tensor(backbone_out, requires_grad=True)
+    head_loss = head_fn(backbone.ln_final(head_leaf))
+    if head_loss.size != 1:
+        raise TrainingError("head_fn must return a scalar loss")
+
+    def backward(grad: np.ndarray) -> None:
+        # 1. Head backward -> delta at the backbone output.
+        head_loss.backward(grad)
+        delta = head_leaf.grad
+        # 2. Blocks in reverse: recompute with grad, push delta through.
+        for block, boundary in zip(reversed(blocks),
+                                   reversed(boundaries)):
+            leaf = Tensor(boundary, requires_grad=True)
+            out = block(leaf)
+            out.backward(delta)
+            delta = leaf.grad
+        # 3. Embedding backward (token + positional tables).
+        embed_out = _embed(backbone, tokens)
+        embed_out.backward(delta)
+
+    loss = Tensor(head_loss.data.copy(), requires_grad=True)
+    loss._parents = ()
+    loss._backward = backward
+    return loss
+
+
+def checkpointed_lm_loss(model, tokens: np.ndarray) -> Tensor:
+    """Checkpointed next-token loss for a :class:`LanguageModel`."""
+    from . import functional as F
+
+    inputs = np.asarray(tokens)[:, :-1]
+    targets = np.asarray(tokens)[:, 1:]
+
+    def head(features: Tensor) -> Tensor:
+        return F.cross_entropy(model.lm_head(features), targets)
+
+    return checkpointed_loss(model.backbone, head, inputs)
+
+
+def checkpointed_classifier_loss(model, tokens: np.ndarray,
+                                 labels: np.ndarray) -> Tensor:
+    """Checkpointed classification loss for a
+    :class:`SequenceClassifier`."""
+    from . import functional as F
+
+    def head(features: Tensor) -> Tensor:
+        pooled = features.mean(axis=1)
+        return F.cross_entropy(model.head(pooled), labels)
+
+    return checkpointed_loss(model.backbone, head, tokens)

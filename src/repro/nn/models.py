@@ -1,0 +1,140 @@
+"""Model zoo: analytic descriptions of the paper-scale models.
+
+The evaluation sweeps GPT-2 at 1.16B/4.0B/8.4B (Fig. 9), 16.6B/24.6B/33.0B
+(Fig. 10), BERT at matching sizes, BLOOM and ViT (Fig. 13).  Models of
+this size obviously cannot be instantiated in numpy; the performance model
+only needs their *parameter count* (which fixes every traffic volume — see
+Table I) and their *FLOP count* per iteration (which fixes GPU compute
+time).  :class:`ModelSpec` carries exactly that, derived from standard
+transformer arithmetic:
+
+* parameters  ``P = 12 * L * d^2 + vocab * d + seq * d``
+* forward FLOPs per token  ``2 * P + 2 * L * seq * d``  (dense + attention)
+* backward FLOPs  ``2x`` forward.
+
+Tiny instantiable configs for functional training live in
+`repro.nn.transformer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import HardwareConfigError
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Analytic description of one large transformer."""
+
+    name: str
+    family: str
+    hidden_dim: int
+    num_layers: int
+    vocab_size: int
+    seq_len: int
+
+    def __post_init__(self) -> None:
+        if min(self.hidden_dim, self.num_layers, self.vocab_size,
+               self.seq_len) <= 0:
+            raise HardwareConfigError(f"{self.name}: invalid model spec")
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        """Total trainable parameters (dense blocks + embeddings)."""
+        block = 12 * self.num_layers * self.hidden_dim ** 2
+        embeddings = (self.vocab_size + self.seq_len) * self.hidden_dim
+        return block + embeddings
+
+    @property
+    def billions(self) -> float:
+        return self.num_parameters / 1e9
+
+    def fp16_bytes(self) -> int:
+        """M in the paper's notation: size of the FP16 parameter copy."""
+        return 2 * self.num_parameters
+
+    def optimizer_state_bytes(self, states_per_param: int = 3) -> int:
+        """FP32 optimizer state (master param + ``states_per_param - 1``
+        moments); 6M for Adam, 4M for SGD-momentum/AdaGrad."""
+        return 4 * states_per_param * self.num_parameters
+
+    def gradient_bytes(self) -> int:
+        """Gradients handled in FP32 by the offload engine: 2M."""
+        return 4 * self.num_parameters
+
+    # ------------------------------------------------------------------
+    # compute
+    # ------------------------------------------------------------------
+    def forward_flops(self, batch_size: int) -> float:
+        """FLOPs of one forward pass over ``batch_size`` sequences."""
+        tokens = batch_size * self.seq_len
+        dense = 2.0 * self.num_parameters * tokens
+        attention = 2.0 * self.num_layers * self.seq_len * self.hidden_dim
+        return dense + attention * tokens
+
+    def backward_flops(self, batch_size: int) -> float:
+        """Backward is ~2x forward for transformer training."""
+        return 2.0 * self.forward_flops(batch_size)
+
+    def iteration_flops(self, batch_size: int) -> float:
+        return self.forward_flops(batch_size) + self.backward_flops(
+            batch_size)
+
+
+def _gpt2(name: str, dim: int, layers: int) -> ModelSpec:
+    return ModelSpec(name=name, family="gpt2", hidden_dim=dim,
+                     num_layers=layers, vocab_size=50_257, seq_len=1024)
+
+
+def _bert(name: str, dim: int, layers: int) -> ModelSpec:
+    # The evaluation fixes the training sequence length across families so
+    # speedups are comparable (the bottleneck is storage, not attention).
+    return ModelSpec(name=name, family="bert", hidden_dim=dim,
+                     num_layers=layers, vocab_size=30_522, seq_len=1024)
+
+
+#: Named entries matching the sizes quoted in the paper's figures.
+ZOO: Dict[str, ModelSpec] = {
+    # Fig. 9 / Fig. 17 GPT-2 sizes.
+    "gpt2-1.16b": _gpt2("gpt2-1.16b", dim=1920, layers=24),
+    "gpt2-4.0b": _gpt2("gpt2-4.0b", dim=3072, layers=34),
+    "gpt2-8.4b": _gpt2("gpt2-8.4b", dim=4096, layers=41),
+    # Fig. 10 large sizes.
+    "gpt2-16.6b": _gpt2("gpt2-16.6b", dim=5120, layers=52),
+    "gpt2-24.6b": _gpt2("gpt2-24.6b", dim=6144, layers=54),
+    "gpt2-33.0b": _gpt2("gpt2-33.0b", dim=7168, layers=53),
+    # BERT counterparts used alongside GPT-2 in Fig. 9.
+    "bert-1.2b": _bert("bert-1.2b", dim=2048, layers=23),
+    "bert-4.0b": _bert("bert-4.0b", dim=3328, layers=30),
+    "bert-8.3b": _bert("bert-8.3b", dim=4096, layers=41),
+    # Fig. 13 additional families.
+    "bloom-7.1b": ModelSpec(name="bloom-7.1b", family="bloom",
+                            hidden_dim=4096, num_layers=30,
+                            vocab_size=250_880, seq_len=1024),
+    "vit-1.9b": ModelSpec(name="vit-1.9b", family="vit", hidden_dim=1792,
+                          num_layers=48, vocab_size=1_000, seq_len=577),
+    # Table IV fine-tuning checkpoints.
+    "bert-0.34b": _bert("bert-0.34b", dim=1024, layers=24),
+    "gpt2-0.77b": _gpt2("gpt2-0.77b", dim=1280, layers=36),
+    "gpt2-1.6b": _gpt2("gpt2-1.6b", dim=1600, layers=48),
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a zoo entry by name."""
+    try:
+        return ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(ZOO))
+        raise KeyError(f"unknown model {name!r}; known models: {known}")
+
+
+def models_by_family(family: str) -> List[ModelSpec]:
+    """All zoo entries of one family, sorted by size."""
+    entries = [spec for spec in ZOO.values() if spec.family == family]
+    return sorted(entries, key=lambda spec: spec.num_parameters)

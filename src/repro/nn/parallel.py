@@ -1,0 +1,198 @@
+"""Tensor parallelism (the §VIII-A multi-GPU substrate).
+
+The congested-topology experiment (Fig. 17) runs 1-3 GPUs with Megatron-
+style tensor parallelism.  This module provides the functional substrate:
+column-/row-parallel layers whose shards follow the standard recipe —
+
+* **MLP**: the first linear is split by *columns* (each shard computes a
+  slice of the hidden activation, GELU is local), the second by *rows*
+  (each shard holds a slice of the input dim); partial outputs are summed
+  by an **all-reduce**, the communication the shared PCIe link carries in
+  the congested topology.
+* **Attention**: heads are distributed across shards; each shard computes
+  attention for its heads and a row-slice of the output projection, again
+  summed by an all-reduce.
+
+A :class:`CommMeter` counts all-reduce bytes with the standard
+ring-all-reduce volume ``2 (g-1)/g x nbytes`` so the Fig. 17 traffic
+numbers are grounded in the functional layer.  Shard outputs are
+numerically equal to the unsharded modules (asserted in tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..errors import TrainingError
+from . import functional as F
+from .modules import Linear, Module, Parameter
+from .tensor import Tensor, concatenate
+from .transformer import MultiHeadAttention, TransformerConfig
+
+
+@dataclass
+class CommMeter:
+    """Counts tensor-parallel collective traffic."""
+
+    num_shards: int
+    allreduce_bytes: float = 0.0
+    allreduce_ops: int = 0
+    history: List[float] = field(default_factory=list)
+
+    def record_allreduce(self, nbytes: float) -> None:
+        """Ring all-reduce moves ``2 (g-1)/g`` of the buffer per rank."""
+        wire = 2.0 * (self.num_shards - 1) / self.num_shards * nbytes
+        self.allreduce_bytes += wire
+        self.allreduce_ops += 1
+        self.history.append(wire)
+
+
+def _allreduce_sum(partials: List[Tensor], meter: CommMeter) -> Tensor:
+    """Sum the per-shard partial outputs, metering the collective."""
+    total = partials[0]
+    for partial in partials[1:]:
+        total = total + partial
+    meter.record_allreduce(4 * total.size)
+    return total
+
+
+class TensorParallelMLP(Module):
+    """Column-then-row parallel MLP, output == the dense MLP's."""
+
+    def __init__(self, dim: int, hidden: int, num_shards: int,
+                 rng: np.random.Generator, meter: CommMeter) -> None:
+        super().__init__()
+        if hidden % num_shards != 0:
+            raise TrainingError(
+                f"hidden={hidden} not divisible by shards={num_shards}")
+        self.num_shards = num_shards
+        self.meter = meter
+        slice_width = hidden // num_shards
+        std1 = 1.0 / math.sqrt(dim)
+        std2 = 1.0 / math.sqrt(hidden)
+        for shard in range(num_shards):
+            setattr(self, f"fc{shard}", Parameter(
+                rng.normal(0.0, std1, size=(dim, slice_width))))
+            setattr(self, f"fc_bias{shard}",
+                    Parameter(np.zeros(slice_width)))
+            setattr(self, f"proj{shard}", Parameter(
+                rng.normal(0.0, std2, size=(slice_width, dim))))
+        self.proj_bias = Parameter(np.zeros(dim))
+
+    @classmethod
+    def from_dense(cls, fc: Linear, proj: Linear, num_shards: int,
+                   meter: CommMeter) -> "TensorParallelMLP":
+        """Shard an existing dense MLP's weights (exact split)."""
+        dim, hidden = fc.weight.data.shape
+        module = cls(dim, hidden, num_shards, np.random.default_rng(0),
+                     meter)
+        width = hidden // num_shards
+        for shard in range(num_shards):
+            cols = slice(shard * width, (shard + 1) * width)
+            getattr(module, f"fc{shard}").data = fc.weight.data[:, cols]
+            getattr(module, f"fc_bias{shard}").data = fc.bias.data[cols]
+            getattr(module, f"proj{shard}").data = proj.weight.data[cols]
+        module.proj_bias.data = proj.bias.data.copy()
+        return module
+
+    def forward(self, x: Tensor) -> Tensor:
+        partials = []
+        for shard in range(self.num_shards):
+            hidden = F.gelu(x @ getattr(self, f"fc{shard}")
+                            + getattr(self, f"fc_bias{shard}"))
+            partials.append(hidden @ getattr(self, f"proj{shard}"))
+        return _allreduce_sum(partials, self.meter) + self.proj_bias
+
+
+class TensorParallelAttention(Module):
+    """Head-sharded attention, output == the dense attention's.
+
+    Each shard owns the QKV columns of its heads and the matching rows of
+    the output projection; the partial projections are all-reduced.
+    """
+
+    def __init__(self, config: TransformerConfig, num_shards: int,
+                 rng: np.random.Generator, meter: CommMeter) -> None:
+        super().__init__()
+        if config.num_heads % num_shards != 0:
+            raise TrainingError(
+                f"heads={config.num_heads} not divisible by "
+                f"shards={num_shards}")
+        if config.dropout != 0.0:
+            raise TrainingError(
+                "tensor-parallel attention requires dropout=0")
+        self.config = config
+        self.num_shards = num_shards
+        self.meter = meter
+        dim = config.dim
+        heads_per_shard = config.num_heads // num_shards
+        width = heads_per_shard * config.head_dim
+        std = 1.0 / math.sqrt(dim)
+        for shard in range(num_shards):
+            setattr(self, f"qkv{shard}", Parameter(
+                rng.normal(0.0, std, size=(dim, 3 * width))))
+            setattr(self, f"qkv_bias{shard}",
+                    Parameter(np.zeros(3 * width)))
+            setattr(self, f"proj{shard}", Parameter(
+                rng.normal(0.0, std, size=(width, dim))))
+        self.proj_bias = Parameter(np.zeros(dim))
+
+    @classmethod
+    def from_dense(cls, attention: MultiHeadAttention, num_shards: int,
+                   meter: CommMeter) -> "TensorParallelAttention":
+        """Shard an existing dense attention block's weights."""
+        config = attention.config
+        module = cls(config, num_shards, np.random.default_rng(0), meter)
+        dim = config.dim
+        head_dim = config.head_dim
+        heads_per_shard = config.num_heads // num_shards
+        qkv_w = attention.qkv.weight.data    # (dim, 3*dim)
+        qkv_b = attention.qkv.bias.data
+        proj_w = attention.proj.weight.data  # (dim, dim)
+        for shard in range(num_shards):
+            head_lo = shard * heads_per_shard * head_dim
+            head_hi = head_lo + heads_per_shard * head_dim
+            # Columns of q, k and v for this shard's heads.
+            cols = np.concatenate([
+                np.arange(part * dim + head_lo, part * dim + head_hi)
+                for part in range(3)])
+            getattr(module, f"qkv{shard}").data = qkv_w[:, cols].copy()
+            getattr(module, f"qkv_bias{shard}").data = qkv_b[cols].copy()
+            getattr(module, f"proj{shard}").data = (
+                proj_w[head_lo:head_hi].copy())
+        module.proj_bias.data = attention.proj.bias.data.copy()
+        return module
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, _dim = x.shape
+        config = self.config
+        heads_per_shard = config.num_heads // self.num_shards
+        head_dim = config.head_dim
+        partials = []
+        for shard in range(self.num_shards):
+            qkv = (x @ getattr(self, f"qkv{shard}")
+                   + getattr(self, f"qkv_bias{shard}"))
+            qkv = qkv.reshape(batch, seq, 3, heads_per_shard, head_dim)
+            qkv = qkv.transpose(2, 0, 3, 1, 4)
+            q, k, v = qkv[0], qkv[1], qkv[2]
+            scores = (q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(head_dim))
+            if config.attention == "causal":
+                scores = F.masked_fill(scores,
+                                       F.causal_mask(seq)[None, None])
+            weights = F.softmax(scores, axis=-1)
+            context = (weights @ v).transpose(0, 2, 1, 3).reshape(
+                batch, seq, heads_per_shard * head_dim)
+            partials.append(context @ getattr(self, f"proj{shard}"))
+        return _allreduce_sum(partials, self.meter) + self.proj_bias
+
+
+def expected_allreduce_bytes(num_shards: int, batch: int, seq: int,
+                             dim: int, num_calls: int) -> float:
+    """Closed-form wire bytes for ``num_calls`` all-reduces of a
+    (batch, seq, dim) fp32 activation."""
+    nbytes = 4 * batch * seq * dim
+    return num_calls * 2.0 * (num_shards - 1) / num_shards * nbytes

@@ -1,0 +1,116 @@
+"""Mixed-precision training utilities.
+
+Storage-offloaded training (Fig. 1 of the paper) keeps an FP16 working copy
+of the parameters for forward/backward while the FP32 master copy lives in
+the optimizer state on storage.  Two consequences are modelled faithfully:
+
+* Gradients must be scanned for NaN/Inf *before* the update so the dynamic
+  loss scaler can skip the step — one of the reasons gradient offload cannot
+  simply be overlapped with the update (§IV-C).
+* Loss scaling multiplies the loss before backward and the gradients are
+  unscaled before clipping/updating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+import numpy as np
+
+from ..errors import TrainingError
+
+
+def to_fp16(array: np.ndarray) -> np.ndarray:
+    """Cast an FP32 array to the FP16 working precision."""
+    return np.asarray(array, dtype=np.float32).astype(np.float16)
+
+
+def from_fp16(array: np.ndarray) -> np.ndarray:
+    """Promote an FP16 array back to FP32."""
+    return np.asarray(array, dtype=np.float16).astype(np.float32)
+
+
+def has_overflow(arrays: Iterable[np.ndarray]) -> bool:
+    """True when any gradient array contains NaN or +-Inf.
+
+    This is the pre-update scan mixed-precision training requires; in the
+    paper it is one of the constraints that forces gradients to be fully
+    materialized before the update step starts.
+    """
+    for array in arrays:
+        if not np.all(np.isfinite(array)):
+            return True
+    return False
+
+
+def global_grad_norm(arrays: Iterable[np.ndarray]) -> float:
+    """L2 norm over the concatenation of all gradient arrays."""
+    total = 0.0
+    for array in arrays:
+        total += float(np.square(array, dtype=np.float64).sum())
+    return float(np.sqrt(total))
+
+
+@dataclass
+class LossScaler:
+    """Dynamic loss scaling as in NVIDIA AMP / DeepSpeed.
+
+    The scale doubles every ``growth_interval`` successful steps and halves
+    on every overflow (with the overflowing step skipped).
+    """
+
+    scale: float = 2.0 ** 16
+    growth_factor: float = 2.0
+    backoff_factor: float = 0.5
+    growth_interval: int = 1000
+    min_scale: float = 1.0
+    max_scale: float = 2.0 ** 24
+    _good_steps: int = field(default=0, repr=False)
+    #: Number of steps skipped due to overflow (observable for tests).
+    skipped_steps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise TrainingError("loss scale must be positive")
+
+    def scale_loss(self, loss_value: float) -> float:
+        return loss_value * self.scale
+
+    def unscale(self, gradients: List[np.ndarray]) -> List[np.ndarray]:
+        """Divide gradients by the current scale (in place, returned)."""
+        inv = 1.0 / self.scale
+        for grad in gradients:
+            grad *= inv
+        return gradients
+
+    def update(self, overflow: bool) -> bool:
+        """Advance scaler state; returns True when the step may proceed."""
+        if overflow:
+            self.scale = max(self.scale * self.backoff_factor,
+                             self.min_scale)
+            self._good_steps = 0
+            self.skipped_steps += 1
+            return False
+        self._good_steps += 1
+        if self._good_steps >= self.growth_interval:
+            self.scale = min(self.scale * self.growth_factor, self.max_scale)
+            self._good_steps = 0
+        return True
+
+
+def clip_gradients(arrays: List[np.ndarray], max_norm: float) -> float:
+    """Scale gradients in place so their global norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.  Requires the *whole model's* gradients —
+    the second constraint (§IV-C) that serializes gradient offload before
+    the update phase.
+    """
+    if max_norm <= 0:
+        raise TrainingError("max_norm must be positive")
+    norm = global_grad_norm(arrays)
+    if norm > max_norm:
+        factor = max_norm / (norm + 1e-12)
+        for array in arrays:
+            array *= factor
+    return norm

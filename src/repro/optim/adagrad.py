@@ -1,0 +1,28 @@
+"""AdaGrad (Duchi et al., 2011) — the other §VII-F optimizer (4M state)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TrainingError
+from .base import FlatOptimizer, StateDict
+
+
+class AdaGrad(FlatOptimizer):
+    """Accumulated squared-gradient scaling: ``G += g^2; p -= lr*g/sqrt(G)``."""
+
+    state_names = ("accumulator",)
+
+    def __init__(self, lr: float = 1e-2, eps: float = 1e-10) -> None:
+        super().__init__(lr)
+        if eps <= 0:
+            raise TrainingError("eps must be positive")
+        self.eps = np.float32(eps)
+
+    def step(self, params: np.ndarray, grads: np.ndarray, state: StateDict,
+             step_num: int) -> None:
+        self.check(params, grads, state)
+        accumulator = state["accumulator"]
+        accumulator += grads * grads
+        params -= np.float32(self.lr) * grads / (
+            np.sqrt(accumulator) + self.eps)

@@ -1,0 +1,71 @@
+"""Adam and AdamW update rules (the paper's primary optimizer).
+
+The update is written as a fixed sequence of element-wise vector operations
+— the exact shape the FPGA updater's SIMD AXPBY units execute (§V-A).  The
+CSD kernel implementation in `repro.csd.kernels` replays this same sequence
+chunk by chunk, so results are bit-identical by construction, and the test
+suite asserts it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TrainingError
+from .base import FlatOptimizer, StateDict
+
+
+class Adam(FlatOptimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    state_names = ("momentum", "variance")
+
+    def __init__(self, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8) -> None:
+        super().__init__(lr)
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise TrainingError("betas must be in [0, 1)")
+        if eps <= 0:
+            raise TrainingError("eps must be positive")
+        self.beta1 = np.float32(beta1)
+        self.beta2 = np.float32(beta2)
+        self.eps = np.float32(eps)
+
+    def step(self, params: np.ndarray, grads: np.ndarray, state: StateDict,
+             step_num: int) -> None:
+        self.check(params, grads, state)
+        momentum = state["momentum"]
+        variance = state["variance"]
+        one = np.float32(1.0)
+
+        # AXPBY: m = beta1 * m + (1 - beta1) * g
+        momentum *= self.beta1
+        momentum += (one - self.beta1) * grads
+        # AXPBY: v = beta2 * v + (1 - beta2) * g^2
+        variance *= self.beta2
+        variance += (one - self.beta2) * (grads * grads)
+
+        correction1 = one - self.beta1 ** np.float32(step_num)
+        correction2 = one - self.beta2 ** np.float32(step_num)
+        m_hat = momentum / correction1
+        v_hat = variance / correction2
+        params -= np.float32(self.lr) * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def __init__(self, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8,
+                 weight_decay: float = 0.01) -> None:
+        super().__init__(lr=lr, beta1=beta1, beta2=beta2, eps=eps)
+        if weight_decay < 0:
+            raise TrainingError("weight decay must be non-negative")
+        self.weight_decay = np.float32(weight_decay)
+
+    def step(self, params: np.ndarray, grads: np.ndarray, state: StateDict,
+             step_num: int) -> None:
+        # Decoupled decay applies directly to the parameters, before the
+        # Adam moment update.
+        params -= np.float32(self.lr) * self.weight_decay * params
+        super().step(params, grads, state, step_num)

@@ -1,0 +1,89 @@
+"""Learning-rate schedules for fine-tuning runs.
+
+The Table IV fine-tuning recipes (BERT/GPT-2 on GLUE) use linear warmup
+followed by decay; a constant and a cosine variant are included.  A
+schedule is a pure function ``step -> learning rate`` (1-based steps), so
+it composes with any engine: the trainer assigns ``optimizer.lr`` before
+each update, and because every engine applies the same schedule the
+bit-identity guarantees are preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..errors import TrainingError
+
+Schedule = Callable[[int], float]
+
+
+def constant_schedule(base_lr: float) -> Schedule:
+    """Always ``base_lr``."""
+    if base_lr <= 0:
+        raise TrainingError("base_lr must be positive")
+    return lambda step: base_lr
+
+
+def linear_warmup_decay(base_lr: float, warmup_steps: int,
+                        total_steps: int,
+                        final_fraction: float = 0.0) -> Schedule:
+    """Linear ramp to ``base_lr`` over ``warmup_steps``, then linear decay
+    to ``final_fraction * base_lr`` at ``total_steps``."""
+    if base_lr <= 0:
+        raise TrainingError("base_lr must be positive")
+    if warmup_steps < 0 or total_steps <= warmup_steps:
+        raise TrainingError(
+            "need 0 <= warmup_steps < total_steps, got "
+            f"{warmup_steps}/{total_steps}")
+    if not 0.0 <= final_fraction <= 1.0:
+        raise TrainingError("final_fraction must be in [0, 1]")
+
+    def schedule(step: int) -> float:
+        if step <= warmup_steps:
+            return base_lr * step / max(warmup_steps, 1)
+        progress = (step - warmup_steps) / (total_steps - warmup_steps)
+        progress = min(progress, 1.0)
+        return base_lr * (1.0 - (1.0 - final_fraction) * progress)
+
+    return schedule
+
+
+def cosine_warmup_decay(base_lr: float, warmup_steps: int,
+                        total_steps: int,
+                        final_fraction: float = 0.0) -> Schedule:
+    """Linear warmup, then cosine decay to ``final_fraction * base_lr``."""
+    if base_lr <= 0:
+        raise TrainingError("base_lr must be positive")
+    if warmup_steps < 0 or total_steps <= warmup_steps:
+        raise TrainingError(
+            "need 0 <= warmup_steps < total_steps, got "
+            f"{warmup_steps}/{total_steps}")
+
+    def schedule(step: int) -> float:
+        if step <= warmup_steps:
+            return base_lr * step / max(warmup_steps, 1)
+        progress = (step - warmup_steps) / (total_steps - warmup_steps)
+        progress = min(progress, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return base_lr * (final_fraction
+                          + (1.0 - final_fraction) * cosine)
+
+    return schedule
+
+
+_SCHEDULES = {
+    "constant": constant_schedule,
+    "linear": linear_warmup_decay,
+    "cosine": cosine_warmup_decay,
+}
+
+
+def make_schedule(kind: str, base_lr: float, **kwargs) -> Schedule:
+    """Build a schedule by name (``constant`` / ``linear`` / ``cosine``)."""
+    try:
+        factory = _SCHEDULES[kind.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_SCHEDULES))
+        raise KeyError(f"unknown schedule {kind!r}; known: {known}")
+    return factory(base_lr, **kwargs)

@@ -1,0 +1,96 @@
+"""Bottleneck analysis over simulated iterations.
+
+Answers the "where does the time go" questions behind the paper's
+narrative, per method:
+
+* baseline — the shared host interconnect saturates (Fig. 3b);
+* SmartUpdate — the bottleneck moves to the per-device NAND channels,
+  which aggregate with device count (§IV-A);
+* SmartComp — with gradients compressed, the remaining shared-channel
+  load is the upstream parameter transfer (§VIII-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..hw.topology import SystemSpec
+from ..sim.resources import Channel
+from ..sim.trace import (ChannelSummary, summarize_channels,
+                         traffic_by_tag)
+from .fabric import Fabric
+from .scenarios import PhaseBreakdown, run_scenario
+from .workload import Workload
+
+
+def _all_channels(fabric: Fabric) -> List[Channel]:
+    channels = [fabric.link_up, fabric.link_down, fabric.cpu,
+                fabric.bounce]
+    for device in fabric.devices:
+        channels.extend([device.nand_read, device.nand_write,
+                         device.fpga_updater, device.fpga_decompressor])
+    return channels
+
+
+@dataclass(frozen=True)
+class IterationAnalysis:
+    """Breakdown plus channel-level attribution of one simulated run."""
+
+    method: str
+    breakdown: PhaseBreakdown
+    channels: List[ChannelSummary]
+    tag_bytes: Dict[str, float]
+
+    @property
+    def bottleneck(self) -> ChannelSummary:
+        return self.channels[0]
+
+    def channel(self, name: str) -> ChannelSummary:
+        for summary in self.channels:
+            if summary.name == name:
+                return summary
+        raise KeyError(f"unknown channel {name!r}")
+
+    def shared_link_bytes(self) -> float:
+        """Bytes that crossed the host interconnect (both directions)."""
+        up = self.channel("host-link-up")
+        down = self.channel("host-link-down")
+        return up.bytes_total + down.bytes_total
+
+    def render(self, top: int = 6) -> str:
+        lines = [f"method {self.method}: iteration "
+                 f"{self.breakdown.total:.2f}s, bottleneck = "
+                 f"{self.bottleneck.name} "
+                 f"({self.bottleneck.busy_time:.2f}s busy)"]
+        for summary in self.channels[:top]:
+            lines.append(
+                f"  {summary.name:<22} busy {summary.busy_time:6.2f}s  "
+                f"util {summary.utilization:6.1%}  "
+                f"{summary.bytes_total / 1e9:8.2f} GB")
+        return "\n".join(lines)
+
+
+def analyze_iteration(system: SystemSpec, workload: Workload, method: str,
+                      compression_ratio: float = 0.02
+                      ) -> IterationAnalysis:
+    """Run one scenario and attribute time to channels."""
+    breakdown, fabric = run_scenario(
+        system, workload, method, compression_ratio=compression_ratio)
+    channels = _all_channels(fabric)
+    return IterationAnalysis(
+        method=method,
+        breakdown=breakdown,
+        channels=summarize_channels(channels),
+        tag_bytes=traffic_by_tag(channels),
+    )
+
+
+def compare_bottlenecks(system: SystemSpec, workload: Workload,
+                        methods=("baseline", "su", "su_o", "su_o_c")
+                        ) -> Dict[str, IterationAnalysis]:
+    """Bottleneck analysis for several methods on the same machine."""
+    return {
+        method: analyze_iteration(system, workload, method)
+        for method in methods
+    }

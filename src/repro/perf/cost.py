@@ -1,0 +1,54 @@
+"""System cost-efficiency model (Fig. 15): GFLOPS per dollar.
+
+The paper prices the platform at ~$45k (CPU, RAM, PCIe expansion), GPUs at
+$2k (A5000) / $7k (A100), plain 4TB SSDs at $400 and SmartSSDs at $2,400
+(6x the plain SSD).  Training throughput is the model's iteration FLOPs
+divided by simulated iteration time; dividing by system cost gives the
+figure's metric.  Smart-Infinity loses below ~4 CSDs (the 6x device premium
+dominates) and wins beyond, with GFLOPS/$ still rising at 10 devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.topology import SystemSpec
+from .scenarios import PhaseBreakdown
+from .workload import Workload
+
+
+@dataclass(frozen=True)
+class CostEfficiency:
+    """Throughput-per-dollar of one configuration."""
+
+    method: str
+    num_devices: int
+    iteration_time: float
+    iteration_flops: float
+    system_cost_usd: float
+
+    @property
+    def gflops(self) -> float:
+        """Sustained training throughput in GFLOP/s."""
+        return self.iteration_flops / self.iteration_time / 1e9
+
+    @property
+    def gflops_per_dollar(self) -> float:
+        return self.gflops / self.system_cost_usd
+
+
+def cost_efficiency(system: SystemSpec, workload: Workload, method: str,
+                    breakdown: PhaseBreakdown) -> CostEfficiency:
+    """Fig. 15's metric for one simulated configuration.
+
+    The baseline is priced with plain SSDs of the same capacity; every
+    Smart-Infinity variant pays the SmartSSD premium.
+    """
+    as_plain = method == "baseline"
+    return CostEfficiency(
+        method=method,
+        num_devices=system.num_csds,
+        iteration_time=breakdown.total,
+        iteration_flops=workload.iteration_flops,
+        system_cost_usd=system.total_cost_usd(as_plain_ssds=as_plain),
+    )

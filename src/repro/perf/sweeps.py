@@ -1,0 +1,103 @@
+"""Parameter-sweep helpers over the DES scenarios.
+
+Thin, reusable loops behind the CLI's ``sweep`` subcommand and several
+experiments: sweep one axis (device count, model size, compression
+ratio), return structured rows, render as a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import HardwareConfigError
+from ..hw.gpu import GPUSpec
+from ..hw.topology import default_system
+from ..nn.models import get_model
+from .scenarios import simulate_iteration
+from .workload import make_workload
+
+AXES = ("devices", "model", "ratio")
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One sweep point: the axis value and both iteration times."""
+
+    value: object
+    baseline_time: float
+    smart_time: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_time / self.smart_time
+
+
+def sweep_devices(model_name: str, counts: Sequence[int],
+                  method: str = "su_o_c",
+                  gpu: GPUSpec = None) -> List[SweepRow]:
+    """Speedup vs device count (the Fig. 11 axis)."""
+    workload = make_workload(get_model(model_name))
+    rows = []
+    for count in counts:
+        system = default_system(num_csds=count, gpu=gpu)
+        rows.append(SweepRow(
+            value=count,
+            baseline_time=simulate_iteration(system, workload,
+                                             "baseline").total,
+            smart_time=simulate_iteration(system, workload,
+                                          method).total))
+    return rows
+
+
+def sweep_models(model_names: Sequence[str], num_devices: int = 10,
+                 method: str = "su_o_c") -> List[SweepRow]:
+    """Speedup vs model size (the Fig. 10 axis)."""
+    system = default_system(num_csds=num_devices)
+    rows = []
+    for name in model_names:
+        workload = make_workload(get_model(name))
+        rows.append(SweepRow(
+            value=name,
+            baseline_time=simulate_iteration(system, workload,
+                                             "baseline").total,
+            smart_time=simulate_iteration(system, workload,
+                                          method).total))
+    return rows
+
+
+def sweep_ratios(model_name: str, ratios: Sequence[float],
+                 num_devices: int = 10) -> List[SweepRow]:
+    """Speedup vs SmartComp volume ratio (the Fig. 16 axis)."""
+    workload = make_workload(get_model(model_name))
+    system = default_system(num_csds=num_devices)
+    baseline = simulate_iteration(system, workload, "baseline").total
+    rows = []
+    for ratio in ratios:
+        smart = simulate_iteration(system, workload, "su_o_c",
+                                   compression_ratio=ratio).total
+        rows.append(SweepRow(value=f"{ratio:.0%}",
+                             baseline_time=baseline, smart_time=smart))
+    return rows
+
+
+def render_sweep(rows: Sequence[SweepRow], axis_label: str) -> str:
+    """Fixed-width rendering of a sweep."""
+    lines = [f"{axis_label:>12} {'BASE iter':>10} {'Smart iter':>11} "
+             f"{'speedup':>8}"]
+    for row in rows:
+        lines.append(f"{str(row.value):>12} {row.baseline_time:>9.2f}s "
+                     f"{row.smart_time:>10.2f}s {row.speedup:>7.2f}x")
+    return "\n".join(lines)
+
+
+def run_sweep(axis: str, **kwargs) -> List[SweepRow]:
+    """Dispatch by axis name (``devices`` / ``model`` / ``ratio``)."""
+    if axis == "devices":
+        return sweep_devices(**kwargs)
+    if axis == "model":
+        return sweep_models(**kwargs)
+    if axis == "ratio":
+        return sweep_ratios(**kwargs)
+    raise HardwareConfigError(f"unknown sweep axis {axis!r}; "
+                              f"choose from {AXES}")

@@ -1,0 +1,106 @@
+"""Per-iteration workload quantities for the performance model.
+
+Everything the discrete-event scenarios need about one training
+configuration is a handful of byte/FLOP totals, all linear in the model's
+parameter count — the reason the paper's speedups are nearly constant
+across model sizes (§VII-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareConfigError
+from ..nn.models import ModelSpec
+from ..optim import make_optimizer
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Byte and FLOP totals of one training iteration."""
+
+    model: ModelSpec
+    batch_size: int
+    optimizer: str
+    #: FP32 words per parameter held in optimizer state (Adam: 3 -> 6M).
+    states_per_param: int
+    forward_flops: float
+    backward_flops: float
+
+    @property
+    def num_params(self) -> int:
+        return self.model.num_parameters
+
+    @property
+    def iteration_flops(self) -> float:
+        """Total FLOPs of one iteration (forward + backward)."""
+        return self.forward_flops + self.backward_flops
+
+    # ------------------------------------------------------------------
+    # traffic volumes (Table I terms, in bytes)
+    # ------------------------------------------------------------------
+    @property
+    def fp16_param_bytes(self) -> int:
+        """M: the FP16 working copy (streamed GPU<->host every pass)."""
+        return 2 * self.num_params
+
+    @property
+    def gradient_bytes(self) -> int:
+        """2M: FP32 gradients offloaded during backward."""
+        return 4 * self.num_params
+
+    @property
+    def optimizer_state_bytes(self) -> int:
+        """6M for Adam (master+momentum+variance), 4M for SGD/AdaGrad."""
+        return 4 * self.states_per_param * self.num_params
+
+    @property
+    def update_read_bytes(self) -> int:
+        """Storage reads of the update phase: optimizer states + gradients
+        (8M for Adam)."""
+        return self.optimizer_state_bytes + self.gradient_bytes
+
+    @property
+    def update_write_bytes(self) -> int:
+        """Storage writes of the update phase: optimizer states (6M)."""
+        return self.optimizer_state_bytes
+
+    @property
+    def master_upstream_bytes(self) -> int:
+        """2M: updated FP32 master parameters sent upstream (SmartUpdate)."""
+        return 4 * self.num_params
+
+    @property
+    def update_touched_bytes(self) -> int:
+        """Bytes the update engine streams: reads + writes."""
+        return self.update_read_bytes + self.update_write_bytes
+
+    @property
+    def activation_bytes(self) -> int:
+        """Checkpointed activations per iteration (batch x seq x dim x 2B
+        per layer); only matters for the congested multi-GPU topology."""
+        return (2 * self.batch_size * self.model.seq_len
+                * self.model.hidden_dim * self.model.num_layers)
+
+    def compressed_gradient_bytes(self, volume_ratio: float) -> float:
+        """SmartComp downstream volume: c% x 2M."""
+        if not 0 < volume_ratio <= 2.0:
+            raise HardwareConfigError(
+                f"volume ratio must be in (0, 2], got {volume_ratio}")
+        return volume_ratio * self.gradient_bytes
+
+
+def make_workload(model: ModelSpec, batch_size: int = 4,
+                  optimizer: str = "adam") -> Workload:
+    """Build the workload for one (model, batch, optimizer) combination."""
+    if batch_size < 1:
+        raise HardwareConfigError("batch size must be >= 1")
+    states = make_optimizer(optimizer).states_per_param
+    return Workload(
+        model=model,
+        batch_size=batch_size,
+        optimizer=optimizer,
+        states_per_param=states,
+        forward_flops=model.forward_flops(batch_size),
+        backward_flops=model.backward_flops(batch_size),
+    )

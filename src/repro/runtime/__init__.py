@@ -1,0 +1,29 @@
+"""Storage-offloaded training runtime: baseline and Smart-Infinity engines."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .engine import (BaselineOffloadEngine, LossFn, MixedPrecisionTrainer,
+                     StepResult, TrainingConfig)
+from .host_offload import HostOffloadEngine
+from .partition import (FlatParameterSpace, ParamSlot, Shard,
+                        distribute_shards)
+from .smart import SmartInfinityEngine
+from .stats import IterationTraffic, TrafficMeter, expected_traffic
+
+__all__ = [
+    "BaselineOffloadEngine",
+    "HostOffloadEngine",
+    "load_checkpoint",
+    "save_checkpoint",
+    "FlatParameterSpace",
+    "IterationTraffic",
+    "LossFn",
+    "MixedPrecisionTrainer",
+    "ParamSlot",
+    "Shard",
+    "SmartInfinityEngine",
+    "StepResult",
+    "TrafficMeter",
+    "TrainingConfig",
+    "distribute_shards",
+    "expected_traffic",
+]

@@ -1,0 +1,132 @@
+"""Checkpointing for the offload engines.
+
+Fine-tuning jobs (the paper's §VII-J use case) need durable state: the
+FP32 masters, the optimizer moments, the loss-scaler state and the step
+counter.  A checkpoint taken from any engine restores into any other —
+the engines share one flat state layout — so a run can start on the
+baseline and resume under Smart-Infinity, bit-identically (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..errors import TrainingError
+
+#: Format marker for forward compatibility.
+FORMAT_VERSION = 1
+
+
+def _gather_state(engine) -> Dict[str, np.ndarray]:
+    """Flat masters + moments from any engine, by duck typing."""
+    state_names = engine.optimizer.state_names
+    if hasattr(engine, "devices"):          # SmartInfinityEngine
+        arrays = {"master_params": [], **{n: [] for n in state_names}}
+        for device in engine.devices:
+            arrays["master_params"].append(
+                device.store.read_array("master_params"))
+            for name in state_names:
+                arrays[name].append(device.store.read_array(name))
+        out = {name: np.concatenate(parts)
+               for name, parts in arrays.items()}
+        # SmartComp's error-feedback residuals are training state too:
+        # without them a resumed compressed run diverges.
+        if any(fb is not None for fb in engine.feedback):
+            out["ef_residual"] = np.concatenate([
+                feedback.residual for feedback in engine.feedback])
+        return out
+    if hasattr(engine, "store"):            # BaselineOffloadEngine
+        out = {"master_params": engine.store.read_array("master_params")}
+        for name in state_names:
+            out[name] = engine.store.read_array(name)
+        return out
+    if hasattr(engine, "_masters"):         # HostOffloadEngine
+        out = {"master_params": engine._masters.copy()}
+        for name in state_names:
+            out[name] = engine._state[name].copy()
+        return out
+    raise TrainingError(f"cannot checkpoint engine {type(engine)!r}")
+
+
+def _scatter_state(engine, arrays: Dict[str, np.ndarray]) -> None:
+    """Write flat masters + moments back into an engine's storage."""
+    state_names = engine.optimizer.state_names
+    if hasattr(engine, "devices"):
+        for index, (device, shard) in enumerate(
+                zip(engine.devices, engine.shards)):
+            view = slice(shard.start, shard.end)
+            device.store.write_array("master_params",
+                                     arrays["master_params"][view])
+            for name in state_names:
+                device.store.write_array(name, arrays[name][view])
+            feedback = engine.feedback[index]
+            if feedback is not None and "ef_residual" in arrays:
+                feedback.residual[:] = arrays["ef_residual"][view]
+        return
+    if hasattr(engine, "store"):
+        engine.store.write_array("master_params",
+                                 arrays["master_params"])
+        for name in state_names:
+            engine.store.write_array(name, arrays[name])
+        return
+    if hasattr(engine, "_masters"):
+        engine._masters[:] = arrays["master_params"]
+        for name in state_names:
+            engine._state[name][:] = arrays[name]
+        return
+    raise TrainingError(f"cannot restore engine {type(engine)!r}")
+
+
+def save_checkpoint(engine, path: str) -> None:
+    """Persist an engine's full training state to ``path`` (.npz)."""
+    arrays = _gather_state(engine)
+    np.savez(
+        path,
+        format_version=FORMAT_VERSION,
+        step_count=engine.step_count,
+        loss_scale=engine.scaler.scale,
+        skipped_steps=engine.scaler.skipped_steps,
+        optimizer=engine.config.optimizer,
+        num_params=engine.num_params,
+        **arrays,
+    )
+
+
+def load_checkpoint(engine, path: str) -> None:
+    """Restore an engine from a checkpoint written by any engine.
+
+    Validates the optimizer family and parameter count, restores masters,
+    moments, scaler and step counter, and refreshes the FP16 working copy
+    so the next forward uses the restored weights.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        if int(data["format_version"]) != FORMAT_VERSION:
+            raise TrainingError(
+                f"unsupported checkpoint version "
+                f"{int(data['format_version'])}")
+        if str(data["optimizer"]) != engine.config.optimizer:
+            raise TrainingError(
+                f"checkpoint is for optimizer {data['optimizer']!r}, "
+                f"engine uses {engine.config.optimizer!r}")
+        if int(data["num_params"]) != engine.num_params:
+            raise TrainingError(
+                f"checkpoint has {int(data['num_params'])} parameters, "
+                f"engine has {engine.num_params}")
+        arrays = {"master_params": data["master_params"]}
+        for name in engine.optimizer.state_names:
+            if name not in data:
+                raise TrainingError(f"checkpoint missing state {name!r}")
+            arrays[name] = data[name]
+        if "ef_residual" in data:
+            arrays["ef_residual"] = data["ef_residual"]
+        _scatter_state(engine, arrays)
+        engine.step_count = int(data["step_count"])
+        engine.scaler.scale = float(data["loss_scale"])
+        engine.scaler.skipped_steps = int(data["skipped_steps"])
+    working = arrays["master_params"].copy()
+    mask = getattr(engine, "pruning_mask", None)
+    if mask is not None:
+        mask.apply(working)
+    engine.space.install_fp16_params(working)

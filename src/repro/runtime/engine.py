@@ -1,0 +1,305 @@
+"""Storage-offloaded training engines: shared base + the CPU baseline.
+
+The baseline engine reproduces the ZeRO-Infinity dataflow of Fig. 1:
+
+* FP16 working parameters in the "GPU" (the numpy module),
+* FP32 optimizer states (master params, moments) on storage,
+* gradients offloaded to storage during backward,
+* block-wise CPU update: upload gradients + optimizer states, update with
+  the host optimizer, offload the states back, refresh the FP16 copy.
+
+Every byte crossing the host<->storage path is metered so the Table I
+accounting can be asserted, and the engines share one mixed-precision
+forward/backward implementation so baseline-vs-Smart-Infinity accuracy
+comparisons differ *only* in where the update runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TrainingError
+from ..nn.modules import Module
+from ..nn.precision import (LossScaler, clip_gradients, has_overflow)
+from ..optim import make_optimizer
+from ..storage.blockdev import FileBlockDevice
+from ..storage.raid0 import RAID0Volume
+from ..storage.tensor_store import TensorStore
+from .partition import FlatParameterSpace
+from .stats import IterationTraffic, TrafficMeter
+
+#: loss_fn(model, *batch) -> scalar Tensor
+LossFn = Callable[..., "object"]
+
+
+@dataclass
+class TrainingConfig:
+    """Knobs shared by the baseline and Smart-Infinity engines."""
+
+    optimizer: str = "adam"
+    optimizer_kwargs: Dict = field(default_factory=dict)
+    grad_clip: float = 1.0
+    initial_loss_scale: float = 2.0 ** 16
+    #: Elements per update subgroup (the paper's accelerator-DRAM-sized D).
+    subgroup_elements: int = 1 << 16
+    #: SmartComp volume ratio (None disables compression).
+    compression_ratio: Optional[float] = None
+    error_feedback: bool = True
+    #: SU+O (optimized transfer handler) vs plain SU (naive loop).
+    use_transfer_handler: bool = True
+    #: BRAM chunk size of the functional FPGA kernels (S).
+    kernel_chunk_elements: int = 16_384
+    #: Model-compression extension (§VIII-B): the CSD quantizes updated
+    #: masters to int8 before the upstream transfer, and the host
+    #: dequantizes for the STE forward pass.
+    quantized_upstream: bool = False
+    #: Per-group size of the int8 quantization scales.
+    quantization_group: int = 4096
+    #: Magnitude-pruning sparsity applied to the FP16 working copy
+    #: (None disables pruning; masters stay dense).
+    pruning_sparsity: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # DeepSpeed-style config files (§VI: "enabled by simply specifying an
+    # option"): the whole engine configuration round-trips through JSON.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Plain-dict form, suitable for ``json.dump``."""
+        return dict(self.__dict__)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TrainingConfig":
+        """Build a config from a dict, rejecting unknown keys."""
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise TrainingError(
+                f"unknown config keys: {sorted(unknown)}; known keys: "
+                f"{sorted(known)}")
+        return cls(**data)
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "TrainingConfig":
+        """Load a config from a JSON file (the DeepSpeed-config idiom)."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    def to_json_file(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one training iteration."""
+
+    step: int
+    loss: float
+    grad_norm: float
+    overflow: bool
+    traffic: IterationTraffic
+
+
+class MixedPrecisionTrainer:
+    """Shared forward/backward with FP16 working params and loss scaling."""
+
+    def __init__(self, model: Module, loss_fn: LossFn,
+                 config: TrainingConfig) -> None:
+        self.model = model
+        self.loss_fn = loss_fn
+        self.config = config
+        self.space = FlatParameterSpace(model)
+        self.scaler = LossScaler(scale=config.initial_loss_scale)
+        self.optimizer = make_optimizer(config.optimizer,
+                                        **config.optimizer_kwargs)
+        self.step_count = 0
+        self.loss_history: List[float] = []
+        self._lr_schedule: Optional[Callable[[int], float]] = None
+
+    @property
+    def num_params(self) -> int:
+        return self.space.total_elements
+
+    # ------------------------------------------------------------------
+    # learning-rate scheduling
+    # ------------------------------------------------------------------
+    def set_lr_schedule(self, schedule: Callable[[int], float]) -> None:
+        """Drive ``optimizer.lr`` from ``schedule(step)`` (1-based steps).
+
+        Every engine applies the schedule identically, so scheduled runs
+        keep the cross-engine bit-identity guarantees.
+        """
+        self._lr_schedule = schedule
+
+    def _apply_lr_schedule(self) -> None:
+        if self._lr_schedule is not None:
+            self.optimizer.lr = float(self._lr_schedule(self.step_count))
+
+    def forward_backward(self, batch: Sequence[np.ndarray]
+                         ) -> Tuple[float, np.ndarray, float, bool]:
+        """One scaled forward/backward pass.
+
+        Returns ``(loss, flat_unscaled_grads, grad_norm, overflow)``; on
+        overflow the gradients are unusable and the step must be skipped.
+        Clipping is applied in place when no overflow occurred.
+        """
+        self.model.zero_grad()
+        loss = self.loss_fn(self.model, *batch)
+        # Overflow in the scaled backward pass is the signal the loss
+        # scaler exists to catch; silence numpy's warning for it.
+        with np.errstate(over="ignore", invalid="ignore"):
+            scaled = loss * float(self.scaler.scale)
+            scaled.backward()
+            flat_grads = self.space.gather_grads()
+            flat_grads *= np.float32(1.0 / self.scaler.scale)
+        overflow = has_overflow([flat_grads])
+        norm = 0.0
+        if not overflow:
+            norm = clip_gradients([flat_grads], self.config.grad_clip)
+        return float(loss.item()), flat_grads, norm, overflow
+
+    def forward_backward_many(self, batches: Sequence[Sequence[np.ndarray]]
+                              ) -> Tuple[float, np.ndarray, float, bool]:
+        """Gradient accumulation over micro-batches.
+
+        Runs forward/backward per micro-batch, averages the unscaled
+        gradients, then applies the NaN/Inf scan and clipping once on the
+        combined gradient — matching large-batch semantics.
+        """
+        if not batches:
+            raise TrainingError("need at least one micro-batch")
+        total_loss = 0.0
+        combined: Optional[np.ndarray] = None
+        overflow = False
+        for batch in batches:
+            self.model.zero_grad()
+            loss = self.loss_fn(self.model, *batch)
+            with np.errstate(over="ignore", invalid="ignore"):
+                scaled = loss * float(self.scaler.scale)
+                scaled.backward()
+                flat = self.space.gather_grads()
+                flat *= np.float32(1.0 / self.scaler.scale)
+            total_loss += float(loss.item())
+            overflow = overflow or has_overflow([flat])
+            combined = flat if combined is None else combined + flat
+        combined *= np.float32(1.0 / len(batches))
+        norm = 0.0
+        if not overflow:
+            norm = clip_gradients([combined], self.config.grad_clip)
+        return total_loss / len(batches), combined, norm, overflow
+
+
+class BaselineOffloadEngine(MixedPrecisionTrainer):
+    """ZeRO-Infinity-style baseline: RAID0 storage + CPU update."""
+
+    def __init__(self, model: Module, loss_fn: LossFn, storage_dir: str,
+                 num_ssds: int = 1,
+                 config: Optional[TrainingConfig] = None) -> None:
+        config = config or TrainingConfig()
+        super().__init__(model, loss_fn, config)
+        if num_ssds < 1:
+            raise TrainingError("need at least one SSD")
+        os.makedirs(storage_dir, exist_ok=True)
+
+        total = self.space.total_elements
+        words = 2 + self.optimizer.states_per_param  # grads + states
+        per_member = (4 * total * words // num_ssds) + (1 << 20)
+        members = [
+            FileBlockDevice(os.path.join(storage_dir, f"ssd{i}.img"),
+                            per_member, name=f"ssd{i}")
+            for i in range(num_ssds)
+        ]
+        self.volume = RAID0Volume(members)
+        self.store = TensorStore(self.volume)
+        self.meter = TrafficMeter()
+
+        self._state_names = self.optimizer.state_names
+        self.store.allocate("master_params", total)
+        self.store.allocate("grads", total)
+        for name in self._state_names:
+            self.store.allocate(name, total)
+
+        # Initial placement: masters = init weights, moments = zero; the
+        # FP16 working copy is what the model computes with.
+        masters = self.space.gather_params()
+        self.store.write_array("master_params", masters)
+        zero = np.zeros(total, dtype=np.float32)
+        for name in self._state_names:
+            self.store.write_array(name, zero)
+        self.space.install_fp16_params(masters)
+
+    # ------------------------------------------------------------------
+    def train_step(self, *batch: np.ndarray) -> StepResult:
+        """One full iteration: forward, backward+offload, CPU update."""
+        return self._run_step([batch])
+
+    def train_step_accumulated(
+            self, batches: Sequence[Sequence[np.ndarray]]) -> StepResult:
+        """One iteration with gradient accumulation over micro-batches."""
+        return self._run_step([tuple(batch) for batch in batches])
+
+    def _run_step(self, batches: Sequence[Sequence[np.ndarray]]
+                  ) -> StepResult:
+        self.meter.begin_iteration()
+        if len(batches) == 1:
+            loss, flat_grads, norm, overflow = self.forward_backward(
+                batches[0])
+        else:
+            loss, flat_grads, norm, overflow = self.forward_backward_many(
+                batches)
+
+        # Gradient offload happens during backward, before the overflow
+        # verdict is known (the real engine streams them out eagerly).
+        self.store.write_array("grads", flat_grads)
+        self.meter.add_host_write(4 * flat_grads.size)
+
+        proceed = self.scaler.update(overflow)
+        if proceed:
+            self.step_count += 1
+            self._apply_lr_schedule()
+            self._cpu_update()
+        traffic = self.meter.end_iteration()
+        self.loss_history.append(loss)
+        return StepResult(step=self.step_count, loss=loss, grad_norm=norm,
+                          overflow=overflow, traffic=traffic)
+
+    def _cpu_update(self) -> None:
+        """Block-wise upload -> AVX update -> offload (Fig. 4a)."""
+        total = self.space.total_elements
+        step = self.step_count
+        size = self.config.subgroup_elements
+        for start in range(0, total, size):
+            count = min(size, total - start)
+            grads = self.store.read_slice("grads", start, count)
+            masters = self.store.read_slice("master_params", start, count)
+            state = {
+                name: self.store.read_slice(name, start, count)
+                for name in self._state_names
+            }
+            self.meter.add_host_read(
+                4 * count * (2 + len(self._state_names)))
+
+            self.optimizer.step(masters, grads, state, step)
+
+            self.store.write_slice("master_params", start, masters)
+            for name in self._state_names:
+                self.store.write_slice(name, start, state[name])
+            self.meter.add_host_write(
+                4 * count * (1 + len(self._state_names)))
+
+            # Refresh the FP16 working copy from the updated masters.
+            self.space.install_fp16_slice(start, masters)
+
+    def close(self) -> None:
+        self.volume.close()
+
+    def __enter__(self) -> "BaselineOffloadEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

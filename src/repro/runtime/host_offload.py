@@ -1,0 +1,102 @@
+"""Host-memory offloaded training (the ZeRO-Offload substrate, §II).
+
+Before storage offloading, the intermediate point in the memory hierarchy
+is host DRAM: FP32 optimizer states live in pinned host memory and the
+CPU executes the update, with no storage involved.  The paper builds on
+this lineage ([90], [98]); this engine implements it as the third member
+of the engine family, sharing the same mixed-precision forward/backward,
+so all three can be compared on identical footing:
+
+* :class:`HostOffloadEngine` — states in host DRAM, CPU update, zero
+  storage traffic (but the whole model must fit in host memory);
+* :class:`~repro.runtime.engine.BaselineOffloadEngine` — states on
+  RAID0 storage, CPU update (ZeRO-Infinity);
+* :class:`~repro.runtime.smart.SmartInfinityEngine` — states on CSDs,
+  near-storage FPGA update.
+
+Training through this engine is bit-identical to both of the others (the
+update arithmetic is the same flat element-wise step), which the tests
+assert — the whole engine family computes one trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import TrainingError
+from ..nn.modules import Module
+from .engine import (LossFn, MixedPrecisionTrainer, StepResult,
+                     TrainingConfig)
+from .stats import TrafficMeter
+
+
+class HostOffloadEngine(MixedPrecisionTrainer):
+    """ZeRO-Offload-style training: optimizer states in host memory."""
+
+    def __init__(self, model: Module, loss_fn: LossFn,
+                 config: Optional[TrainingConfig] = None,
+                 host_memory_bytes: Optional[int] = None) -> None:
+        config = config or TrainingConfig()
+        super().__init__(model, loss_fn, config)
+        total = self.space.total_elements
+        states_bytes = 4 * total * self.optimizer.states_per_param
+        if host_memory_bytes is not None and states_bytes > \
+                host_memory_bytes:
+            raise TrainingError(
+                f"optimizer states need {states_bytes} B but host memory "
+                f"is {host_memory_bytes} B — this is exactly the wall "
+                "storage-offloaded training exists to break")
+        self.meter = TrafficMeter()
+        self._masters = self.space.gather_params()
+        self._state = self.optimizer.init_state(total)
+        self.space.install_fp16_params(self._masters)
+
+    def train_step(self, *batch: np.ndarray) -> StepResult:
+        """One iteration: fw/bw on the GPU, CPU update in host memory."""
+        return self._run_step([batch])
+
+    def train_step_accumulated(self, batches) -> StepResult:
+        """One iteration with gradient accumulation over micro-batches."""
+        return self._run_step([tuple(batch) for batch in batches])
+
+    def _run_step(self, batches) -> StepResult:
+        self.meter.begin_iteration()
+        if len(batches) == 1:
+            loss, flat_grads, norm, overflow = self.forward_backward(
+                batches[0])
+        else:
+            loss, flat_grads, norm, overflow = self.forward_backward_many(
+                batches)
+        proceed = self.scaler.update(overflow)
+        if proceed:
+            self.step_count += 1
+            self._apply_lr_schedule()
+            self._cpu_update(flat_grads)
+        traffic = self.meter.end_iteration()
+        self.loss_history.append(loss)
+        return StepResult(step=self.step_count, loss=loss, grad_norm=norm,
+                          overflow=overflow, traffic=traffic)
+
+    def _cpu_update(self, flat_grads: np.ndarray) -> None:
+        """Block-wise CPU update over the host-resident states."""
+        total = self.space.total_elements
+        size = self.config.subgroup_elements
+        for start in range(0, total, size):
+            stop = min(start + size, total)
+            chunk_state = {name: buf[start:stop]
+                           for name, buf in self._state.items()}
+            self.optimizer.step(self._masters[start:stop],
+                                flat_grads[start:stop], chunk_state,
+                                self.step_count)
+            self.space.install_fp16_slice(start,
+                                          self._masters[start:stop])
+
+    def state_arrays(self) -> Sequence[np.ndarray]:
+        """The host-resident optimizer state (for inspection/tests)."""
+        return [self._masters] + [self._state[name]
+                                  for name in self.optimizer.state_names]
+
+    def close(self) -> None:
+        """Nothing to release; present for engine-family symmetry."""

@@ -1,0 +1,340 @@
+"""The Smart-Infinity engine: SmartUpdate + SmartComp over functional CSDs.
+
+Dataflow per iteration (Figs. 4b and 6):
+
+1. forward/backward in mixed precision (shared with the baseline);
+2. gradients are offloaded to their *owner CSD* — dense for SmartUpdate,
+   Top-K compressed (optionally with error feedback) for SmartComp; this is
+   the only downstream host traffic (2M or c% x 2M);
+3. each CSD updates its shard near storage: optimizer states move only over
+   the device-internal P2P path, the FPGA kernel applies the update, and
+   the transfer handler overlaps lazy state write-backs;
+4. as each subgroup's urgent parameter write-back lands, the host reads the
+   updated FP32 masters upstream (2M total) and refreshes the FP16 working
+   copy — the only upstream host traffic.
+
+SmartUpdate runs the *same* optimizer arithmetic as the baseline, so with
+compression disabled the trained model is bit-identical to the baseline's
+(asserted in tests), which is the paper's Table IV "SU+O == Baseline" row.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..compression.error_feedback import ErrorFeedback, compress_with_feedback
+from ..compression.topk import CompressedGradient, keep_count
+from ..csd.device import SmartSSDDevice
+from ..csd.handler import (Subgroup, TransferHandler, naive_update_pass,
+                           plan_subgroups)
+from ..csd.kernels import DecompressorKernel, UpdaterKernel
+from ..errors import TrainingError
+from ..modelcomp.pruning import PruningMask, magnitude_mask
+from ..modelcomp.quantization import QuantizerKernel, dequantize_int8, \
+    QuantizedTensor
+from ..nn.modules import Module
+from .engine import LossFn, MixedPrecisionTrainer, StepResult, TrainingConfig
+from .partition import Shard, distribute_shards
+from .stats import TrafficMeter
+
+
+class SmartInfinityEngine(MixedPrecisionTrainer):
+    """Near-storage training engine over multiple functional SmartSSDs."""
+
+    def __init__(self, model: Module, loss_fn: LossFn, storage_dir: str,
+                 num_csds: int = 1,
+                 config: Optional[TrainingConfig] = None) -> None:
+        config = config or TrainingConfig()
+        super().__init__(model, loss_fn, config)
+        if num_csds < 1:
+            raise TrainingError("need at least one CSD")
+        os.makedirs(storage_dir, exist_ok=True)
+
+        self.shards: List[Shard] = distribute_shards(
+            self.space.total_elements, num_csds)
+        self.devices: List[SmartSSDDevice] = []
+        self.handlers: List[Optional[TransferHandler]] = []
+        self.kernels: List[UpdaterKernel] = []
+        self.decompressors: List[DecompressorKernel] = []
+        self.feedback: List[Optional[ErrorFeedback]] = []
+        self.meter = TrafficMeter()
+        self._state_names = self.optimizer.state_names
+
+        masters = self.space.gather_params()
+        # §VIII-B extensions: pruning mask over the flat space, and the
+        # per-device CSD quantizer kernels for the upstream transfer.
+        self.pruning_mask: Optional[PruningMask] = None
+        if config.pruning_sparsity is not None:
+            self.pruning_mask = magnitude_mask(masters,
+                                               config.pruning_sparsity)
+        self.quantizers: List[Optional[QuantizerKernel]] = []
+
+        for shard in self.shards:
+            device = self._build_device(storage_dir, shard)
+            self.devices.append(device)
+            # Initial state placement (setup traffic, not metered).
+            shard_masters = masters[shard.start:shard.end]
+            device.store.write_array("master_params", shard_masters)
+            zero = np.zeros(shard.count, dtype=np.float32)
+            for name in self._state_names:
+                device.store.write_array(name, zero)
+
+            kernel = UpdaterKernel(
+                self.optimizer,
+                chunk_elements=config.kernel_chunk_elements)
+            self.kernels.append(kernel)
+            self.decompressors.append(DecompressorKernel(
+                chunk_elements=config.kernel_chunk_elements))
+
+            max_sub = min(config.subgroup_elements, shard.count)
+            if config.use_transfer_handler:
+                self.handlers.append(TransferHandler(
+                    device, self._state_names, max_sub))
+            else:
+                self.handlers.append(None)
+
+            if config.compression_ratio is not None and config.error_feedback:
+                self.feedback.append(ErrorFeedback(shard.count))
+            else:
+                self.feedback.append(None)
+
+            if config.quantized_upstream:
+                group = config.quantization_group
+                chunk = max(group, (config.kernel_chunk_elements // group)
+                            * group)
+                self.quantizers.append(QuantizerKernel(
+                    group_size=group, chunk_elements=chunk))
+            else:
+                self.quantizers.append(None)
+
+        working = masters.copy()
+        if self.pruning_mask is not None:
+            self.pruning_mask.apply(working)
+        self.space.install_fp16_params(working)
+
+    # ------------------------------------------------------------------
+    # setup helpers
+    # ------------------------------------------------------------------
+    def _build_device(self, storage_dir: str,
+                      shard: Shard) -> SmartSSDDevice:
+        config = self.config
+        words = 2 + self.optimizer.states_per_param
+        capacity = 4 * shard.count * words + shard.count + (2 << 20)
+        device = SmartSSDDevice(
+            os.path.join(storage_dir, f"csd{shard.device_id}.img"),
+            capacity, device_id=shard.device_id)
+        device.store.allocate("master_params", shard.count)
+        for name in self._state_names:
+            device.store.allocate(name, shard.count)
+        if config.compression_ratio is None:
+            device.store.allocate("grads", shard.count)
+        else:
+            kept = keep_count(shard.count, config.compression_ratio)
+            device.store.allocate("comp_indices", kept, dtype=np.int32)
+            device.store.allocate("comp_values", kept, dtype=np.float32)
+        if config.quantized_upstream:
+            # §VIII-B: int8 masters + per-group scales, laid out so each
+            # subgroup owns a fixed stripe of the scales region.
+            max_sub = min(config.subgroup_elements, shard.count)
+            groups_per_sub = -(-max_sub // config.quantization_group)
+            num_subs = -(-shard.count // max_sub)
+            device.store.allocate("masters_q", shard.count, dtype=np.int8)
+            device.store.allocate("masters_scales",
+                                  num_subs * groups_per_sub,
+                                  dtype=np.float32)
+        return device
+
+    @property
+    def num_csds(self) -> int:
+        return len(self.devices)
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train_step(self, *batch: np.ndarray) -> StepResult:
+        """One full iteration across all CSDs."""
+        return self._run_step([batch])
+
+    def train_step_accumulated(self, batches) -> StepResult:
+        """One iteration with gradient accumulation over micro-batches."""
+        return self._run_step([tuple(batch) for batch in batches])
+
+    def _run_step(self, batches) -> StepResult:
+        self.meter.begin_iteration()
+        snapshots = [
+            (dev.internal_traffic.bytes_read,
+             dev.internal_traffic.bytes_written) for dev in self.devices]
+        if len(batches) == 1:
+            loss, flat_grads, norm, overflow = self.forward_backward(
+                batches[0])
+        else:
+            loss, flat_grads, norm, overflow = self.forward_backward_many(
+                batches)
+
+        compressed_per_device = self._offload_gradients(flat_grads)
+
+        proceed = self.scaler.update(overflow)
+        if proceed:
+            self.step_count += 1
+            self._apply_lr_schedule()
+            for index in range(self.num_csds):
+                self._update_device(index, compressed_per_device[index])
+
+        for device, (reads, writes) in zip(self.devices, snapshots):
+            self.meter.add_internal_read(
+                device.internal_traffic.bytes_read - reads)
+            self.meter.add_internal_write(
+                device.internal_traffic.bytes_written - writes)
+        traffic = self.meter.end_iteration()
+        self.loss_history.append(loss)
+        return StepResult(step=self.step_count, loss=loss, grad_norm=norm,
+                          overflow=overflow, traffic=traffic)
+
+    def _offload_gradients(self, flat_grads: np.ndarray
+                           ) -> List[Optional[CompressedGradient]]:
+        """Backward-phase offload: write each shard's gradients to its
+        owner CSD (dense, or GPU-compressed for SmartComp)."""
+        ratio = self.config.compression_ratio
+        results: List[Optional[CompressedGradient]] = []
+        for index, (device, shard) in enumerate(
+                zip(self.devices, self.shards)):
+            shard_grads = flat_grads[shard.start:shard.end]
+            if ratio is None:
+                device.host_write("grads", shard_grads)
+                self.meter.add_host_write(4 * shard.count)
+                results.append(None)
+            else:
+                compressed = compress_with_feedback(
+                    shard_grads, self.feedback[index], ratio)
+                device.host_write("comp_indices", compressed.indices)
+                device.host_write("comp_values", compressed.values)
+                self.meter.add_host_write(compressed.nbytes)
+                results.append(compressed)
+        return results
+
+    def _update_device(self, index: int,
+                       compressed: Optional[CompressedGradient]) -> None:
+        """Near-storage update of one device's shard (Fig. 4b / Fig. 6b)."""
+        device = self.devices[index]
+        shard = self.shards[index]
+        handler = self.handlers[index]
+        kernel = self.kernels[index]
+        max_sub = min(self.config.subgroup_elements, shard.count)
+        subgroups = plan_subgroups(shard.count, max_sub)
+
+        load_grads = self._make_grad_loader(index, compressed)
+
+        def on_params_written(subgroup: Subgroup) -> None:
+            self._upstream_subgroup(index, subgroup)
+
+        if handler is not None:
+            handler.run_update_pass(subgroups, kernel, self.step_count,
+                                    load_grads, on_params_written)
+        else:
+            naive_update_pass(device, subgroups, kernel, self.step_count,
+                              self._state_names, load_grads,
+                              on_params_written)
+
+    def _upstream_subgroup(self, index: int, subgroup: Subgroup) -> None:
+        """Upstream one subgroup's updated parameters to the host.
+
+        Plain flow (Fig. 4b step 4): the host reads the FP32 masters (2M
+        total) and refreshes the FP16 working copy immediately, so the
+        next forward can start early.
+
+        Quantized flow (§VIII-B): the CSD quantizes the masters (still
+        resident in FPGA DRAM after the update) to int8 + per-group
+        scales, writes them over the internal path, and the host reads
+        only the compressed form — ~4x less upstream traffic — then
+        dequantizes for the straight-through-estimator forward pass.
+        """
+        device = self.devices[index]
+        shard = self.shards[index]
+        quantizer = self.quantizers[index]
+        global_start = shard.start + subgroup.start
+
+        if quantizer is None:
+            values = device.host_read("master_params", subgroup.start,
+                                      subgroup.count)
+            self.meter.add_host_read(4 * subgroup.count)
+        else:
+            # Quantize on the CSD.  The masters are already in FPGA DRAM
+            # after the urgent write-back, so no extra P2P read is needed;
+            # we fetch them through the store un-metered to emulate that.
+            masters = device.store.read_slice(
+                "master_params", subgroup.start, subgroup.count)
+            quantized = quantizer.run(masters)
+            config = self.config
+            max_sub = min(config.subgroup_elements, shard.count)
+            groups_per_sub = -(-max_sub // config.quantization_group)
+            scale_offset = subgroup.index * groups_per_sub
+            device.p2p_write("masters_q", subgroup.start, quantized.values)
+            device.p2p_write("masters_scales", scale_offset,
+                             quantized.scales)
+            # Host reads the compressed form only.
+            q_values = device.host_read("masters_q", subgroup.start,
+                                        subgroup.count)
+            scales = device.host_read("masters_scales", scale_offset,
+                                      quantized.scales.size)
+            self.meter.add_host_read(subgroup.count + 4 * scales.size)
+            values = dequantize_int8(QuantizedTensor(
+                values=q_values.astype(np.int8), scales=scales,
+                group_size=config.quantization_group,
+                original_size=subgroup.count))
+
+        if self.pruning_mask is not None:
+            self.pruning_mask.slice(global_start, subgroup.count).apply(
+                values)
+        self.space.install_fp16_slice(global_start, values)
+
+    def _make_grad_loader(self, index: int,
+                          compressed: Optional[CompressedGradient]):
+        """Build the per-subgroup gradient loader.
+
+        SmartUpdate reads dense gradients over P2P; SmartComp reads the
+        compressed stream over P2P and runs the FPGA decompressor to fill
+        the gradient buffer for the subgroup's index range (§V-B).
+        """
+        device = self.devices[index]
+        if compressed is None:
+            def load_dense(subgroup: Subgroup,
+                           buffer: np.ndarray) -> np.ndarray:
+                return device.p2p_read_into("grads", subgroup.start, buffer,
+                                            subgroup.count)
+            return load_dense
+
+        decompressor = self.decompressors[index]
+
+        def load_compressed(subgroup: Subgroup,
+                            buffer: np.ndarray) -> np.ndarray:
+            indices = device.p2p_read("comp_indices", 0)
+            values = device.p2p_read("comp_values", 0)
+            # The decompressor selects the entries belonging to this
+            # subgroup and scatters them into its gradient buffer.
+            lo = np.searchsorted(indices, subgroup.start, side="left")
+            hi = np.searchsorted(indices, subgroup.start + subgroup.count,
+                                 side="left")
+            local = CompressedGradient(
+                indices=(indices[lo:hi] - subgroup.start).astype(np.int32),
+                values=values[lo:hi],
+                original_size=subgroup.count)
+            return decompressor.run(local, buffer)
+
+        return load_compressed
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for handler in self.handlers:
+            if handler is not None:
+                handler.close()
+        for device in self.devices:
+            device.close()
+
+    def __enter__(self) -> "SmartInfinityEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

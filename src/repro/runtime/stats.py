@@ -1,0 +1,99 @@
+"""Interconnect traffic accounting and Table I verification helpers.
+
+The paper's Table I states per-iteration traffic through the shared system
+interconnect, in units of M (the FP16 model size, 2 bytes/parameter):
+
+==============  =================  ==================
+method          SSD read           SSD write
+==============  =================  ==================
+ZeRO-Inf        6M (opt) + 2M (g)  6M (opt) + 2M (g)
+SmartUpdate     2M (params up)     2M (gradients)
+SmartComp(c%)   2M (params up)     c% x 2M (gradients)
+==============  =================  ==================
+
+The functional engines meter every byte they move across the host path, and
+the tests check those meters against these closed forms exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import TrainingError
+
+
+@dataclass
+class IterationTraffic:
+    """Host-interconnect bytes of one training iteration."""
+
+    host_reads: int = 0
+    host_writes: int = 0
+    internal_reads: int = 0
+    internal_writes: int = 0
+
+    @property
+    def host_total(self) -> int:
+        return self.host_reads + self.host_writes
+
+    @property
+    def internal_total(self) -> int:
+        return self.internal_reads + self.internal_writes
+
+
+@dataclass
+class TrafficMeter:
+    """Accumulates traffic per iteration across all devices."""
+
+    iterations: List[IterationTraffic] = field(default_factory=list)
+    _current: IterationTraffic = field(default_factory=IterationTraffic)
+
+    def begin_iteration(self) -> None:
+        self._current = IterationTraffic()
+
+    def end_iteration(self) -> IterationTraffic:
+        self.iterations.append(self._current)
+        return self._current
+
+    @property
+    def current(self) -> IterationTraffic:
+        return self._current
+
+    def add_host_read(self, nbytes: int) -> None:
+        self._current.host_reads += nbytes
+
+    def add_host_write(self, nbytes: int) -> None:
+        self._current.host_writes += nbytes
+
+    def add_internal_read(self, nbytes: int) -> None:
+        self._current.internal_reads += nbytes
+
+    def add_internal_write(self, nbytes: int) -> None:
+        self._current.internal_writes += nbytes
+
+
+def expected_traffic(num_params: int, method: str,
+                     states_per_param: int = 3,
+                     compression_ratio: float = 0.02,
+                     shard_sizes: List[int] = None) -> Dict[str, int]:
+    """Closed-form Table I traffic in bytes per iteration.
+
+    ``states_per_param`` is 3 for Adam (master, momentum, variance -> 6M in
+    the paper's M units) and 2 for SGD-momentum/AdaGrad (4M).  ``method``
+    is one of ``baseline`` / ``smartupdate`` / ``smartcomp``.  For
+    SmartComp, compression runs per CSD shard, so pass ``shard_sizes`` to
+    get the exact kept-element arithmetic the engine performs.
+    """
+    opt = 4 * states_per_param * num_params  # 6M for Adam
+    grads = 4 * num_params                   # 2M (fp32 gradients)
+    masters_up = 4 * num_params              # 2M (fp32 masters upstream)
+    if method == "baseline":
+        return {"host_reads": opt + grads, "host_writes": opt + grads}
+    if method == "smartupdate":
+        return {"host_reads": masters_up, "host_writes": grads}
+    if method == "smartcomp":
+        from ..compression.topk import keep_count
+        sizes = shard_sizes or [num_params]
+        kept = sum(keep_count(size, compression_ratio) for size in sizes)
+        return {"host_reads": masters_up, "host_writes": 8 * kept}
+    raise TrainingError(f"unknown method {method!r}")

@@ -1,0 +1,27 @@
+"""Discrete-event simulation kernel used by the performance model."""
+
+from .core import AllOf, Event, Process, Simulator, Timeout
+from .resources import Channel, PhaseClock, Semaphore, Store, TransferRecord
+from .trace import (ChannelSummary, bottleneck, busy_in_window,
+                    phase_channel_matrix, render_timeline,
+                    summarize_channels, traffic_by_tag)
+
+__all__ = [
+    "AllOf",
+    "Channel",
+    "ChannelSummary",
+    "Event",
+    "PhaseClock",
+    "Process",
+    "Semaphore",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TransferRecord",
+    "bottleneck",
+    "busy_in_window",
+    "phase_channel_matrix",
+    "render_timeline",
+    "summarize_channels",
+    "traffic_by_tag",
+]

@@ -1,0 +1,13 @@
+"""Functional storage substrate: block devices, RAID0, tensor regions."""
+
+from .blockdev import FileBlockDevice, IOCounters
+from .raid0 import RAID0Volume
+from .tensor_store import Region, TensorStore
+
+__all__ = [
+    "FileBlockDevice",
+    "IOCounters",
+    "RAID0Volume",
+    "Region",
+    "TensorStore",
+]

@@ -1,0 +1,97 @@
+"""Functional software RAID0 (mdadm-style striping) over block devices.
+
+The baseline configuration of the paper runs ZeRO-Infinity over a software
+RAID0 of the SmartSSDs' plain NVMe namespaces.  This module implements the
+striping arithmetic over :class:`FileBlockDevice` members so the functional
+baseline reads/writes through the same address-splitting path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import StorageError
+from .blockdev import FileBlockDevice, IOCounters
+
+
+class RAID0Volume:
+    """Striped volume presenting the union of its members' capacity."""
+
+    def __init__(self, members: Sequence[FileBlockDevice],
+                 chunk_bytes: int = 1 << 20) -> None:
+        if not members:
+            raise StorageError("RAID0 needs at least one member")
+        if chunk_bytes <= 0:
+            raise StorageError("chunk size must be positive")
+        capacities = {member.capacity_bytes for member in members}
+        if len(capacities) != 1:
+            raise StorageError("RAID0 members must have equal capacity")
+        self.members: List[FileBlockDevice] = list(members)
+        self.chunk_bytes = chunk_bytes
+        self.capacity_bytes = members[0].capacity_bytes * len(members)
+        self.name = f"raid0[{len(members)}]"
+
+    def _map(self, offset: int) -> Tuple[int, int, int]:
+        """Map a volume offset to (member index, member offset, bytes left
+        in this stripe chunk)."""
+        chunk_index, within = divmod(offset, self.chunk_bytes)
+        member_index = chunk_index % len(self.members)
+        member_chunk = chunk_index // len(self.members)
+        member_offset = member_chunk * self.chunk_bytes + within
+        remaining = self.chunk_bytes - within
+        return member_index, member_offset, remaining
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0:
+            raise StorageError("negative offset/length")
+        if offset + length > self.capacity_bytes:
+            raise StorageError("I/O beyond RAID0 volume end")
+
+    def pread(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes, gathering across stripe chunks."""
+        self._check(offset, length)
+        parts: List[bytes] = []
+        position = offset
+        remaining = length
+        while remaining > 0:
+            member_index, member_offset, in_chunk = self._map(position)
+            take = min(remaining, in_chunk)
+            parts.append(self.members[member_index].pread(
+                member_offset, take))
+            position += take
+            remaining -= take
+        return b"".join(parts)
+
+    def pwrite(self, offset: int, data: bytes) -> int:
+        """Write ``data``, scattering across stripe chunks."""
+        self._check(offset, len(data))
+        position = offset
+        cursor = 0
+        while cursor < len(data):
+            member_index, member_offset, in_chunk = self._map(position)
+            take = min(len(data) - cursor, in_chunk)
+            self.members[member_index].pwrite(
+                member_offset, data[cursor:cursor + take])
+            position += take
+            cursor += take
+        return len(data)
+
+    def counters(self) -> IOCounters:
+        """Aggregate I/O counters across members."""
+        total = IOCounters()
+        for member in self.members:
+            total.bytes_read += member.counters.bytes_read
+            total.bytes_written += member.counters.bytes_written
+            total.read_ops += member.counters.read_ops
+            total.write_ops += member.counters.write_ops
+        return total
+
+    def close(self) -> None:
+        for member in self.members:
+            member.close()
+
+    def __enter__(self) -> "RAID0Volume":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,114 @@
+"""Typed array regions on top of a block device.
+
+The offload runtime persists flat float32 arrays (optimizer state slices,
+gradient buffers) at named regions of a device.  A bump allocator assigns
+offsets; regions are fixed-size once allocated, mirroring how the paper's
+system pre-computes per-subgroup storage layout before training starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+import numpy as np
+
+from ..errors import StorageError
+from .blockdev import FileBlockDevice
+from .raid0 import RAID0Volume
+
+Device = Union[FileBlockDevice, RAID0Volume]
+
+
+@dataclass(frozen=True)
+class Region:
+    """One named, fixed-size array region on a device."""
+
+    name: str
+    offset: int
+    num_elements: int
+    dtype: np.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_elements * np.dtype(self.dtype).itemsize
+
+
+class TensorStore:
+    """Named float array storage with explicit allocation."""
+
+    def __init__(self, device: Device, alignment: int = 4096) -> None:
+        if alignment <= 0:
+            raise StorageError("alignment must be positive")
+        self.device = device
+        self.alignment = alignment
+        self._regions: Dict[str, Region] = {}
+        self._next_offset = 0
+
+    def allocate(self, name: str, num_elements: int,
+                 dtype=np.float32) -> Region:
+        """Reserve a region; offsets are aligned like direct-I/O buffers."""
+        if name in self._regions:
+            raise StorageError(f"region {name!r} already allocated")
+        if num_elements <= 0:
+            raise StorageError("num_elements must be positive")
+        dtype = np.dtype(dtype)
+        nbytes = num_elements * dtype.itemsize
+        offset = self._next_offset
+        if offset + nbytes > self.device.capacity_bytes:
+            raise StorageError(
+                f"device full: need {nbytes} bytes at {offset}, capacity "
+                f"{self.device.capacity_bytes}")
+        region = Region(name=name, offset=offset, num_elements=num_elements,
+                        dtype=dtype)
+        self._regions[name] = region
+        padded = ((nbytes + self.alignment - 1)
+                  // self.alignment) * self.alignment
+        self._next_offset += padded
+        return region
+
+    def region(self, name: str) -> Region:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise StorageError(f"unknown region {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def write_array(self, name: str, array: np.ndarray) -> None:
+        """Persist ``array`` into its region (shape/dtype must match)."""
+        region = self.region(name)
+        array = np.ascontiguousarray(array)
+        if array.dtype != region.dtype or array.size != region.num_elements:
+            raise StorageError(
+                f"region {name!r} expects {region.num_elements} x "
+                f"{region.dtype}, got {array.size} x {array.dtype}")
+        self.device.pwrite(region.offset, array.tobytes())
+
+    def read_array(self, name: str) -> np.ndarray:
+        """Load the region's contents as a fresh array."""
+        region = self.region(name)
+        raw = self.device.pread(region.offset, region.nbytes)
+        return np.frombuffer(raw, dtype=region.dtype).copy()
+
+    def write_slice(self, name: str, start: int, array: np.ndarray) -> None:
+        """Write ``array`` into the region starting at element ``start``."""
+        region = self.region(name)
+        array = np.ascontiguousarray(array, dtype=region.dtype)
+        if start < 0 or start + array.size > region.num_elements:
+            raise StorageError(
+                f"slice [{start}, {start + array.size}) outside region "
+                f"{name!r} of {region.num_elements} elements")
+        byte_offset = region.offset + start * region.dtype.itemsize
+        self.device.pwrite(byte_offset, array.tobytes())
+
+    def read_slice(self, name: str, start: int, count: int) -> np.ndarray:
+        """Read ``count`` elements starting at element ``start``."""
+        region = self.region(name)
+        if start < 0 or count < 0 or start + count > region.num_elements:
+            raise StorageError(
+                f"slice [{start}, {start + count}) outside region {name!r}")
+        byte_offset = region.offset + start * region.dtype.itemsize
+        raw = self.device.pread(byte_offset, count * region.dtype.itemsize)
+        return np.frombuffer(raw, dtype=region.dtype).copy()

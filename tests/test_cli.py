@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_models(capsys):
+    assert main(["list-models"]) == 0
+    out = capsys.readouterr().out
+    assert "gpt2-8.4b" in out
+    assert "bloom-7.1b" in out
+
+
+def test_simulate_reports_speedup(capsys):
+    assert main(["simulate", "--model", "gpt2-4.0b", "--csds", "6",
+                 "--method", "su_o_c"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup vs BASE" in out
+    assert "update + opt" in out
+
+
+def test_simulate_baseline_has_no_speedup_row(capsys):
+    assert main(["simulate", "--method", "baseline", "--csds", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" not in out
+
+
+def test_simulate_extension_method(capsys):
+    assert main(["simulate", "--method", "su_o_c_q", "--csds", "4",
+                 "--model", "gpt2-1.16b"]) == 0
+    assert "su_o_c_q" in capsys.readouterr().out
+
+
+def test_simulate_other_optimizer_and_gpu(capsys):
+    assert main(["simulate", "--optimizer", "sgd", "--gpu", "a100",
+                 "--csds", "4", "--model", "gpt2-1.16b"]) == 0
+    assert "a100" in capsys.readouterr().out
+
+
+def test_analyze_prints_bottlenecks(capsys):
+    assert main(["analyze", "--model", "gpt2-1.16b", "--csds", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "bottleneck" in out
+    assert "method baseline" in out
+
+
+def test_experiment_runs_table3(capsys):
+    assert main(["experiment", "table3"]) == 0
+    assert "Table III" in capsys.readouterr().out
+
+
+def test_experiment_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_analyze_timeline_renders_gantt(capsys):
+    assert main(["analyze", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "timeline over" in out
+    assert "ssd0-read" in out
+    assert "#" in out

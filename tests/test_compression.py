@@ -1,0 +1,223 @@
+"""Tests for gradient compression: Top-K, alternatives, error feedback."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (CompressedGradient, ErrorFeedback,
+                               compress_lowrank, compress_randomk,
+                               compress_topk, compress_with_feedback,
+                               compression_error, decompress_lowrank,
+                               decompress_topk, keep_count)
+from repro.errors import TrainingError
+
+
+# ----------------------------------------------------------------------
+# keep_count semantics (the paper's "2% volume = top 1% elements")
+# ----------------------------------------------------------------------
+def test_keep_count_volume_semantics():
+    assert keep_count(1000, 0.02) == 10   # 1% of elements
+    assert keep_count(1000, 0.10) == 50
+    assert keep_count(1000, 2.0) == 1000
+
+
+def test_keep_count_at_least_one():
+    assert keep_count(10, 0.001) == 1
+
+
+def test_keep_count_rejects_bad_ratio():
+    with pytest.raises(TrainingError):
+        keep_count(100, 0.0)
+    with pytest.raises(TrainingError):
+        keep_count(100, 2.5)
+
+
+# ----------------------------------------------------------------------
+# Top-K
+# ----------------------------------------------------------------------
+def test_topk_selects_largest_magnitudes():
+    gradient = np.array([0.1, -5.0, 0.2, 4.0, -0.05, 3.0],
+                        dtype=np.float32)
+    compressed = compress_topk(gradient, volume_ratio=1.0)  # keep 3
+    assert compressed.num_kept == 3
+    assert set(compressed.indices.tolist()) == {1, 3, 5}
+
+
+def test_topk_roundtrip_preserves_kept_and_zeroes_rest():
+    rng = np.random.default_rng(0)
+    gradient = rng.standard_normal(100).astype(np.float32)
+    compressed = compress_topk(gradient, volume_ratio=0.2)  # keep 10
+    dense = decompress_topk(compressed)
+    np.testing.assert_array_equal(dense[compressed.indices],
+                                  gradient[compressed.indices])
+    mask = np.ones(100, dtype=bool)
+    mask[compressed.indices] = False
+    assert (dense[mask] == 0).all()
+
+
+def test_topk_indices_sorted_for_sequential_scatter():
+    rng = np.random.default_rng(1)
+    compressed = compress_topk(rng.standard_normal(64).astype(np.float32),
+                               volume_ratio=0.25)
+    assert (np.diff(compressed.indices) > 0).all()
+
+
+def test_topk_wire_size_and_ratio():
+    gradient = np.zeros(1000, dtype=np.float32)
+    compressed = compress_topk(gradient, volume_ratio=0.02)
+    assert compressed.nbytes == 8 * 10
+    assert compressed.volume_ratio == pytest.approx(0.02)
+    assert compressed.original_nbytes == 4000
+
+
+def test_topk_full_ratio_is_lossless():
+    rng = np.random.default_rng(2)
+    gradient = rng.standard_normal(50).astype(np.float32)
+    compressed = compress_topk(gradient, volume_ratio=2.0)
+    np.testing.assert_array_equal(decompress_topk(compressed), gradient)
+
+
+def test_topk_on_multidimensional_input_flattens():
+    gradient = np.ones((4, 5), dtype=np.float32)
+    compressed = compress_topk(gradient, volume_ratio=0.5)
+    assert compressed.original_size == 20
+
+
+def test_compression_error_is_residual():
+    rng = np.random.default_rng(3)
+    gradient = rng.standard_normal(40).astype(np.float32)
+    compressed = compress_topk(gradient, volume_ratio=0.2)
+    residual = compression_error(gradient, compressed)
+    np.testing.assert_allclose(residual + decompress_topk(compressed),
+                               gradient, rtol=1e-6)
+    assert (residual[compressed.indices] == 0).all()
+
+
+def test_compressed_gradient_validation():
+    with pytest.raises(TrainingError):
+        CompressedGradient(indices=np.array([0, 1]),
+                           values=np.array([1.0]), original_size=10)
+    with pytest.raises(TrainingError):
+        CompressedGradient(indices=np.arange(5),
+                           values=np.ones(5, dtype=np.float32),
+                           original_size=3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(size=st.integers(4, 300), ratio=st.floats(0.02, 1.0),
+       seed=st.integers(0, 10_000))
+def test_topk_beats_any_other_selection_property(size, ratio, seed):
+    """Top-K minimizes the L2 error over all same-size sparse supports."""
+    rng = np.random.default_rng(seed)
+    gradient = rng.standard_normal(size).astype(np.float32)
+    compressed = compress_topk(gradient, volume_ratio=ratio)
+    topk_error = np.linalg.norm(
+        compression_error(gradient, compressed))
+    random = compress_randomk(gradient, ratio,
+                              np.random.default_rng(seed + 1))
+    random_error = np.linalg.norm(compression_error(gradient, random))
+    assert topk_error <= random_error + 1e-5
+
+
+@settings(max_examples=30, deadline=None)
+@given(size=st.integers(2, 200), seed=st.integers(0, 10_000))
+def test_topk_roundtrip_norm_never_increases(size, seed):
+    rng = np.random.default_rng(seed)
+    gradient = rng.standard_normal(size).astype(np.float32)
+    dense = decompress_topk(compress_topk(gradient, 0.5))
+    assert np.linalg.norm(dense) <= np.linalg.norm(gradient) + 1e-6
+
+
+# ----------------------------------------------------------------------
+# alternatives
+# ----------------------------------------------------------------------
+def test_randomk_same_wire_format():
+    rng = np.random.default_rng(0)
+    gradient = rng.standard_normal(100).astype(np.float32)
+    compressed = compress_randomk(gradient, 0.1, rng)
+    assert compressed.num_kept == keep_count(100, 0.1)
+    dense = decompress_topk(compressed)
+    np.testing.assert_array_equal(dense[compressed.indices],
+                                  gradient[compressed.indices])
+
+
+def test_lowrank_reconstructs_rank1_exactly():
+    u = np.arange(1, 9, dtype=np.float32)
+    v = np.arange(1, 9, dtype=np.float32)[::-1].copy()
+    gradient = np.outer(u, v).reshape(-1)
+    compressed = compress_lowrank(gradient, rank=1)
+    reconstructed = decompress_lowrank(compressed)
+    np.testing.assert_allclose(reconstructed, gradient, rtol=1e-3,
+                               atol=1e-3)
+
+
+def test_lowrank_volume_smaller_than_dense():
+    rng = np.random.default_rng(0)
+    gradient = rng.standard_normal(1024).astype(np.float32)
+    compressed = compress_lowrank(gradient, rank=2)
+    assert compressed.volume_ratio < 0.5
+
+
+def test_lowrank_rejects_bad_rank():
+    with pytest.raises(TrainingError):
+        compress_lowrank(np.ones(16, dtype=np.float32), rank=0)
+    with pytest.raises(TrainingError):
+        compress_lowrank(np.ones(16, dtype=np.float32), rank=1,
+                         num_power_iterations=0)
+
+
+# ----------------------------------------------------------------------
+# error feedback
+# ----------------------------------------------------------------------
+def test_error_feedback_replays_dropped_coordinates():
+    """A coordinate too small to be sent accumulates until it is."""
+    feedback = ErrorFeedback(4)
+    gradient = np.array([10.0, 0.1, 0.1, 0.1], dtype=np.float32)
+    # Keep exactly one element each round.
+    first = compress_with_feedback(gradient, feedback, 0.5)
+    assert first.indices.tolist() == [0]
+    assert feedback.residual_norm() > 0
+    # After enough identical rounds, a small coordinate's residual grows
+    # past the big one (already absorbed) and gets transmitted.
+    sent = set(first.indices.tolist())
+    for _round in range(200):
+        compressed = compress_with_feedback(
+            np.zeros(4, dtype=np.float32), feedback, 0.5)
+        sent.update(compressed.indices.tolist())
+    assert sent == {0, 1, 2, 3}
+
+
+def test_error_feedback_without_memory_loses_information():
+    gradient = np.array([10.0, 1.0], dtype=np.float32)
+    compressed = compress_with_feedback(gradient, None, 1.0)
+    dense = decompress_topk(compressed)
+    assert dense[1] == 0.0
+
+
+def test_error_feedback_shape_checks():
+    feedback = ErrorFeedback(4)
+    with pytest.raises(TrainingError):
+        feedback.compensate(np.ones(5, dtype=np.float32))
+    with pytest.raises(TrainingError):
+        ErrorFeedback(0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_error_feedback_transmits_everything_eventually(seed):
+    """Sum of transmitted values converges to the sum of true gradients
+    (no mass is lost, only delayed)."""
+    rng = np.random.default_rng(seed)
+    size = 32
+    feedback = ErrorFeedback(size)
+    total_true = np.zeros(size, dtype=np.float32)
+    total_sent = np.zeros(size, dtype=np.float32)
+    for _step in range(30):
+        gradient = rng.standard_normal(size).astype(np.float32)
+        total_true += gradient
+        compressed = compress_with_feedback(gradient, feedback, 0.25)
+        total_sent += decompress_topk(compressed)
+    # Remaining residual accounts exactly for the gap.
+    np.testing.assert_allclose(total_sent + feedback.residual, total_true,
+                               rtol=1e-3, atol=1e-3)

@@ -1,0 +1,82 @@
+"""Tests for the 1-bit sign compression codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (compress_onebit, compress_topk,
+                               compression_error, decompress_onebit)
+from repro.compression.onebit import OneBitGradient
+from repro.errors import TrainingError
+
+
+def test_onebit_roundtrip_preserves_signs(rng):
+    gradient = rng.standard_normal(1000).astype(np.float32)
+    gradient[gradient == 0] = 1.0
+    dense = decompress_onebit(compress_onebit(gradient, chunk_size=128))
+    np.testing.assert_array_equal(np.sign(dense), np.sign(gradient))
+
+
+def test_onebit_magnitude_is_chunk_mean(rng):
+    gradient = np.array([2.0, -4.0, 6.0, -8.0], dtype=np.float32)
+    compressed = compress_onebit(gradient, chunk_size=4)
+    assert compressed.scales[0] == pytest.approx(5.0)
+    dense = decompress_onebit(compressed)
+    np.testing.assert_allclose(np.abs(dense), 5.0)
+
+
+def test_onebit_volume_ratio_about_one_thirtysecond(rng):
+    gradient = rng.standard_normal(32_768).astype(np.float32)
+    compressed = compress_onebit(gradient, chunk_size=4096)
+    assert compressed.volume_ratio == pytest.approx(1 / 32, rel=0.05)
+
+
+def test_onebit_unaligned_tail(rng):
+    gradient = rng.standard_normal(13).astype(np.float32)
+    compressed = compress_onebit(gradient, chunk_size=8)
+    assert compressed.scales.size == 2
+    dense = decompress_onebit(compressed)
+    assert dense.size == 13
+
+
+def test_onebit_validation(rng):
+    with pytest.raises(TrainingError):
+        compress_onebit(np.ones(4, dtype=np.float32), chunk_size=0)
+    with pytest.raises(TrainingError):
+        OneBitGradient(packed_signs=np.zeros(1, dtype=np.uint8),
+                       scales=np.zeros(5, dtype=np.float32),
+                       chunk_size=4, original_size=8)
+
+
+def test_onebit_preserves_chunk_l1_mass(rng):
+    """Reconstruction preserves each chunk's mean |g| by construction."""
+    gradient = rng.standard_normal(512).astype(np.float32)
+    dense = decompress_onebit(compress_onebit(gradient, chunk_size=64))
+    for start in range(0, 512, 64):
+        assert np.abs(dense[start:start + 64]).mean() == pytest.approx(
+            np.abs(gradient[start:start + 64]).mean(), rel=1e-4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(size=st.integers(1, 2000), chunk=st.sampled_from([32, 256, 4096]),
+       seed=st.integers(0, 1000))
+def test_onebit_shapes_property(size, chunk, seed):
+    rng = np.random.default_rng(seed)
+    gradient = rng.standard_normal(size).astype(np.float32)
+    compressed = compress_onebit(gradient, chunk_size=chunk)
+    dense = decompress_onebit(compressed)
+    assert dense.size == size
+    assert compressed.nbytes < 4 * size or size < 32
+
+
+def test_onebit_vs_topk_error_tradeoff(rng):
+    """At ~3% volume, sign compression covers every coordinate while
+    Top-K concentrates on the largest; for heavy-tailed gradients Top-K
+    wins on L2 error — the reason the paper picks magnitude selection."""
+    heavy = rng.standard_normal(8192).astype(np.float32) ** 3
+    onebit = decompress_onebit(compress_onebit(heavy, chunk_size=1024))
+    onebit_error = np.linalg.norm(heavy - onebit)
+    topk = compress_topk(heavy, volume_ratio=1 / 16)
+    topk_error = np.linalg.norm(compression_error(heavy, topk))
+    assert topk_error < onebit_error

@@ -1,0 +1,45 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fast, deterministic ones run to
+completion here (the slower fine-tuning examples are exercised through
+the equivalent benchmark paths instead).
+"""
+
+import os
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+ALL_EXAMPLES = (
+    "quickstart.py",
+    "finetune_classification.py",
+    "scale_out_csds.py",
+    "custom_optimizer_kernel.py",
+    "pretrain_lm_checkpointed.py",
+)
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_compiles(name):
+    py_compile.compile(os.path.join(EXAMPLES_DIR, name), doraise=True)
+
+
+def test_scale_out_example_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["scale_out_csds.py", "gpt2-1.16b"])
+    runpy.run_path(os.path.join(EXAMPLES_DIR, "scale_out_csds.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "phase breakdown at 10 devices" in out
+    assert "speedup" in out
+
+
+def test_quickstart_example_runs(capsys):
+    runpy.run_path(os.path.join(EXAMPLES_DIR, "quickstart.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "bit-identical training:  True" in out
+    assert "4.0x" in out

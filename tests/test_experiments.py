@@ -1,0 +1,149 @@
+"""Shape checks for every paper experiment module.
+
+Heavy experiments run here with reduced settings; the full configurations
+run under ``benchmarks/``.  Each test asserts the *qualitative* result the
+paper reports — who wins, where things saturate, what stays equal.
+"""
+
+import pytest
+
+from repro.experiments import (ALL_EXPERIMENTS, fig3, fig9, fig10, fig11,
+                               fig12, fig13, fig14, fig15, fig16, fig17,
+                               table1, table3, table4)
+
+
+def test_registry_covers_all_evaluation_artifacts():
+    assert set(ALL_EXPERIMENTS) == {
+        "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "fig15", "fig16", "fig17", "table1", "table3", "table4"}
+
+
+def test_fig3_update_dominates_and_raid_saturates():
+    result = fig3.run()
+    for model_name in fig3.MOTIVATION_MODELS:
+        assert result.update_fraction(model_name) > 0.70
+    assert result.saturation_ssd_count() <= 6
+    # Speedup is monotone non-decreasing and capped.
+    speedups = result.raid_speedups
+    assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] < 5.0
+    assert "Fig 3(a)" in result.render()
+
+
+def test_table1_measured_equals_closed_form():
+    result = table1.run()
+    assert result.matches()
+    analytic = result.analytic
+    # 8M / 8M for the baseline; 2M / 2M for SmartUpdate.
+    p = result.num_params_analytic
+    assert analytic["baseline"]["host_reads"] == 16 * p
+    assert analytic["smartupdate"]["host_reads"] == 4 * p
+    assert analytic["smartcomp"]["host_writes"] < analytic[
+        "smartupdate"]["host_writes"] * 0.03
+    assert "Table I" in result.render()
+
+
+def test_table3_matches_paper_within_tolerance():
+    result = table3.run()
+    assert result.max_abs_error() < 0.05
+    assert "Table III" in result.render()
+
+
+def test_fig9_reduced_grid_orders_methods():
+    result = fig9.run(models=("gpt2-8.4b",), ssd_counts=(6, 10))
+    for num_ssds in (6, 10):
+        su = result.speedup("gpt2-8.4b", num_ssds, "su")
+        su_o = result.speedup("gpt2-8.4b", num_ssds, "su_o")
+        su_o_c = result.speedup("gpt2-8.4b", num_ssds, "su_o_c")
+        assert 1.0 < su < su_o < su_o_c
+    assert result.speedup("gpt2-8.4b", 10, "su_o_c") > 1.8
+    assert "Fig 9" in result.render()
+
+
+def test_fig10_stable_speedup_on_large_models():
+    result = fig10.run(models=("gpt2-16.6b", "gpt2-33.0b"))
+    for num_ssds in (6, 10):
+        assert result.spread(num_ssds) < 0.3
+    assert result.speedups[("gpt2-33.0b", 10)] > result.speedups[
+        ("gpt2-33.0b", 6)]
+    assert "Fig 10" in result.render()
+
+
+def test_fig11_baseline_saturates_smart_scales():
+    result = fig11.run()
+    for gpu_name in ("RTX-A5000", "A100-40GB"):
+        assert result.baseline_saturates(gpu_name)
+        curve = result.series[gpu_name]["smart"]
+        # Monotone growth, and 10 devices beat 5 by a wide margin.
+        assert all(b >= a - 1e-6 for a, b in zip(curve, curve[1:]))
+        assert curve[9] > 1.5 * curve[4]
+    assert result.speedup_at("A100-40GB", 10) > result.speedup_at(
+        "RTX-A5000", 10)
+    assert "Fig 11" in result.render()
+
+
+def test_fig12_adam_gains_most():
+    result = fig12.run(verify_kernels=True)
+    assert result.adam_wins()
+    assert result.states_per_param == {"adam": 3, "sgd": 2, "adagrad": 2}
+    for optimizer in fig12.OPTIMIZERS:
+        assert result.speedups[optimizer][10] > 1.0
+    assert "Fig 12" in result.render()
+
+
+def test_fig13_other_families_speed_up_and_train():
+    result = fig13.run(train_functional=True)
+    assert result.all_in_paper_band(low=1.1, high=2.4)
+    for losses in result.functional_loss.values():
+        assert losses["last"] < losses["first"]
+    assert "BLOOM" in result.render()
+
+
+def test_fig14_throughput_hierarchy():
+    result = fig14.run(measure=False)
+    assert result.updater_exceeds_ssd()
+    assert result.decompressor_covers_read()
+    assert "Fig 14" in result.render()
+
+
+def test_fig15_smart_rises_and_wins_at_scale():
+    result = fig15.run()
+    smart = [p.gflops_per_dollar for p in result.series["smart"]]
+    base = [p.gflops_per_dollar for p in result.series["baseline"]]
+    # Smart-Infinity's efficiency keeps growing with devices while the
+    # baseline's plateaus; at >= 6 devices smart clearly wins.
+    assert smart[9] > smart[5] > smart[2]
+    assert base[9] <= base[5] * 1.05
+    for index in range(5, 10):
+        assert smart[index] > base[index]
+    assert "Fig 15" in result.render()
+
+
+def test_fig16_ratio_tradeoff():
+    result = fig16.run()
+    assert result.compression_always_helps()
+    assert result.monotone_nonincreasing()
+    assert "Fig 16" in result.render()
+
+
+def test_fig17_congested_topology_still_wins_but_less():
+    result = fig17.run()
+    from repro.experiments import fig11 as _fig11
+    default_speedup = 2.0  # the default-topology headline at 10 CSDs
+    for num_gpus in (1, 2, 3):
+        assert result.speedup(num_gpus) > 1.0
+        assert result.speedup(num_gpus) < default_speedup
+    assert "Fig 17" in result.render()
+
+
+def test_table4_su_exact_and_compression_mild():
+    result = table4.run(tasks=("sst2",), epochs=2,
+                        methods=("baseline", "su_o", "comp_2"))
+    assert result.su_matches_baseline()
+    # Lossy 2% compression may drop accuracy, but not catastrophically.
+    assert result.compression_accuracy_drop("comp_2") < 0.25
+    # Speedup column: compression speeds up over SU+O for each checkpoint.
+    for model in table4.FINETUNE_MODELS:
+        assert result.speedups[(model, "comp_2")] > result.speedups[
+            (model, "su_o")] > 1.0
+    assert "Table IV" in result.render()

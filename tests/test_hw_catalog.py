@@ -1,0 +1,100 @@
+"""Tests for the extended CSD catalog and config serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import TrainingError
+from repro.hw.catalog import (get_csd, hypothetical_gen5_csd, noload_csp,
+                              scaleflux_csd3000)
+from repro.hw.topology import default_system
+from repro.runtime import TrainingConfig
+
+
+def test_catalog_lookup():
+    assert get_csd("smartssd").name == "SmartSSD"
+    assert get_csd("csd3000").name == "CSD3000"
+    assert get_csd("noload").name == "NoLoad"
+    assert get_csd("gen5").name == "Gen5-CSD"
+
+
+def test_catalog_rejects_unknown():
+    with pytest.raises(KeyError, match="csd3000"):
+        get_csd("flux-capacitor")
+
+
+def test_alternative_csds_have_coherent_specs():
+    for factory in (scaleflux_csd3000, noload_csp,
+                    hypothetical_gen5_csd):
+        csd = factory()
+        assert csd.p2p_read_bandwidth <= csd.ssd.read_bandwidth
+        assert csd.p2p_read_bandwidth <= csd.internal_link.bandwidth
+        assert csd.fpga.updater_bandwidth > csd.ssd.read_bandwidth
+        assert csd.cost_usd > csd.ssd.cost_usd
+
+
+def test_systems_accept_alternative_devices():
+    system = default_system(num_csds=4, csd=get_csd("csd3000"))
+    assert system.aggregate_internal_read_bandwidth == pytest.approx(
+        4 * get_csd("csd3000").p2p_read_bandwidth)
+
+
+# ----------------------------------------------------------------------
+# TrainingConfig JSON round-trip (the DeepSpeed-config idiom, §VI)
+# ----------------------------------------------------------------------
+def test_config_dict_roundtrip():
+    config = TrainingConfig(optimizer="sgd",
+                            optimizer_kwargs={"lr": 0.1},
+                            compression_ratio=0.05,
+                            pruning_sparsity=0.3)
+    clone = TrainingConfig.from_dict(config.to_dict())
+    assert clone == config
+
+
+def test_config_json_file_roundtrip(tmp_path):
+    config = TrainingConfig(optimizer="adamw",
+                            optimizer_kwargs={"lr": 1e-4,
+                                              "weight_decay": 0.01},
+                            quantized_upstream=True)
+    path = str(tmp_path / "ds_config.json")
+    config.to_json_file(path)
+    loaded = TrainingConfig.from_json_file(path)
+    assert loaded == config
+    # The file is plain JSON a user could write by hand.
+    with open(path) as handle:
+        raw = json.load(handle)
+    assert raw["optimizer"] == "adamw"
+
+
+def test_config_rejects_unknown_keys():
+    with pytest.raises(TrainingError, match="unknown config keys"):
+        TrainingConfig.from_dict({"optimizer": "adam",
+                                  "warp_factor": 9})
+
+
+def test_config_from_file_drives_engine(tmp_path):
+    import numpy as np
+
+    from repro.nn import SequenceClassifier, bert_config, \
+        make_classification_dataset
+    from repro.runtime import SmartInfinityEngine
+
+    path = str(tmp_path / "config.json")
+    with open(path, "w") as handle:
+        json.dump({"optimizer": "adam",
+                   "optimizer_kwargs": {"lr": 0.01},
+                   "subgroup_elements": 4096,
+                   "compression_ratio": 0.1}, handle)
+    config = TrainingConfig.from_json_file(path)
+    model = SequenceClassifier(
+        bert_config(vocab_size=32, dim=32, num_layers=1, num_heads=2,
+                    max_seq_len=16), num_classes=3, seed=0)
+    data = make_classification_dataset(num_train=8, seq_len=16,
+                                       vocab_size=32, seed=0)
+    engine = SmartInfinityEngine(model, lambda m, t, l: m.loss(t, l),
+                                 str(tmp_path / "work"), num_csds=2,
+                                 config=config)
+    result = engine.train_step(data.train_tokens[:4],
+                               data.train_labels[:4])
+    assert np.isfinite(result.loss)
+    engine.close()

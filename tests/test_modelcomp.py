@@ -1,0 +1,152 @@
+"""Tests for the §VIII-B model-compression extensions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError, TrainingError
+from repro.modelcomp import (PruningMask, QMAX, QuantizerKernel,
+                             dequantize_int8, magnitude_mask,
+                             quantization_error, quantize_int8)
+
+
+# ----------------------------------------------------------------------
+# int8 quantization
+# ----------------------------------------------------------------------
+def test_quantize_roundtrip_error_bounded_by_half_step(rng):
+    values = rng.standard_normal(1000).astype(np.float32)
+    quantized = quantize_int8(values, group_size=128)
+    step = quantized.scales.max()
+    assert quantization_error(values, quantized) <= step / 2 + 1e-7
+
+
+def test_quantize_preserves_extremes_exactly():
+    values = np.array([-2.0, 0.0, 2.0], dtype=np.float32)
+    quantized = quantize_int8(values, group_size=4)
+    restored = dequantize_int8(quantized)
+    assert restored[0] == pytest.approx(-2.0, rel=1e-6)
+    assert restored[2] == pytest.approx(2.0, rel=1e-6)
+    assert restored[1] == 0.0
+
+
+def test_quantize_zero_group_is_exact():
+    values = np.zeros(16, dtype=np.float32)
+    quantized = quantize_int8(values, group_size=8)
+    np.testing.assert_array_equal(dequantize_int8(quantized), values)
+    np.testing.assert_array_equal(quantized.scales, np.ones(2,
+                                                            np.float32))
+
+
+def test_quantize_per_group_scales(rng):
+    # One group of large values, one of small: scales must differ.
+    values = np.concatenate([
+        rng.standard_normal(64).astype(np.float32) * 100,
+        rng.standard_normal(64).astype(np.float32) * 0.01])
+    quantized = quantize_int8(values, group_size=64)
+    assert quantized.scales[0] > 100 * quantized.scales[1]
+
+
+def test_quantized_wire_size():
+    quantized = quantize_int8(np.ones(1000, dtype=np.float32),
+                              group_size=100)
+    assert quantized.nbytes == 1000 + 4 * 10
+    assert quantized.values.dtype == np.int8
+
+
+def test_quantize_validates_inputs():
+    with pytest.raises(KernelError):
+        quantize_int8(np.ones(4, dtype=np.float32), group_size=0)
+
+
+def test_quantize_values_within_int8_range(rng):
+    values = (rng.standard_normal(512) * 1e6).astype(np.float32)
+    quantized = quantize_int8(values, group_size=64)
+    assert quantized.values.min() >= -QMAX
+    assert quantized.values.max() <= QMAX
+
+
+@settings(max_examples=30, deadline=None)
+@given(size=st.integers(1, 500), group=st.sampled_from([16, 64, 256]),
+       seed=st.integers(0, 1000))
+def test_quantize_idempotent_on_grid_property(size, group, seed):
+    """Dequantized values re-quantize to themselves exactly."""
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(size).astype(np.float32)
+    once = dequantize_int8(quantize_int8(values, group_size=group))
+    twice = dequantize_int8(quantize_int8(once, group_size=group))
+    np.testing.assert_allclose(once, twice, rtol=1e-6, atol=1e-9)
+
+
+def test_quantizer_kernel_matches_flat_reference(rng):
+    values = rng.standard_normal(5000).astype(np.float32)
+    kernel = QuantizerKernel(group_size=100, chunk_elements=1000)
+    chunked = kernel.run(values)
+    flat = quantize_int8(values, group_size=100)
+    np.testing.assert_array_equal(chunked.values, flat.values)
+    np.testing.assert_array_equal(chunked.scales, flat.scales)
+    assert kernel.invocations == 1
+    assert kernel.elements_processed == 5000
+
+
+def test_quantizer_kernel_rejects_misaligned_chunk():
+    with pytest.raises(KernelError):
+        QuantizerKernel(group_size=100, chunk_elements=150)
+
+
+# ----------------------------------------------------------------------
+# pruning
+# ----------------------------------------------------------------------
+def test_magnitude_mask_keeps_largest(rng):
+    values = np.array([0.1, 5.0, -4.0, 0.2, 3.0, -0.05],
+                      dtype=np.float32)
+    mask = magnitude_mask(values, sparsity=0.5)
+    assert mask.keep.tolist() == [False, True, True, False, True, False]
+    assert mask.sparsity == pytest.approx(0.5)
+
+
+def test_mask_apply_zeroes_pruned(rng):
+    values = rng.standard_normal(100).astype(np.float32)
+    mask = magnitude_mask(values, sparsity=0.7)
+    pruned = mask.apply(values.copy())
+    assert (pruned[~mask.keep] == 0).all()
+    np.testing.assert_array_equal(pruned[mask.keep], values[mask.keep])
+
+
+def test_mask_zero_sparsity_keeps_all(rng):
+    values = rng.standard_normal(10).astype(np.float32)
+    mask = magnitude_mask(values, sparsity=0.0)
+    assert mask.keep.all()
+
+
+def test_mask_slice_consistency(rng):
+    values = rng.standard_normal(100).astype(np.float32)
+    mask = magnitude_mask(values, sparsity=0.4)
+    piece = mask.slice(20, 30)
+    np.testing.assert_array_equal(piece.keep, mask.keep[20:50])
+
+
+def test_mask_validation(rng):
+    values = rng.standard_normal(10).astype(np.float32)
+    with pytest.raises(TrainingError):
+        magnitude_mask(values, sparsity=1.0)
+    mask = magnitude_mask(values, sparsity=0.5)
+    with pytest.raises(TrainingError):
+        mask.apply(np.zeros(5, dtype=np.float32))
+    with pytest.raises(TrainingError):
+        mask.slice(8, 10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(size=st.integers(2, 300), sparsity=st.floats(0.0, 0.9),
+       seed=st.integers(0, 1000))
+def test_mask_sparsity_property(size, sparsity, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(size).astype(np.float32)
+    mask = magnitude_mask(values, sparsity)
+    pruned_count = int(size * sparsity)
+    assert (~mask.keep).sum() == pruned_count
+    # Pruned magnitudes never exceed kept magnitudes.
+    if pruned_count and pruned_count < size:
+        assert np.abs(values[~mask.keep]).max() <= np.abs(
+            values[mask.keep]).min() + 1e-6

@@ -1,0 +1,174 @@
+"""Tests for no_grad mode and block-wise activation checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import (LanguageModel, SequenceClassifier, bert_config,
+                      gpt2_config)
+from repro.nn.checkpoint import (checkpointed_classifier_loss,
+                                 checkpointed_lm_loss, checkpointed_loss)
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+
+# ----------------------------------------------------------------------
+# no_grad
+# ----------------------------------------------------------------------
+def test_no_grad_disables_graph_construction():
+    x = Tensor([1.0, 2.0], requires_grad=True)
+    with no_grad():
+        y = (x * 2).sum()
+    assert not y.requires_grad
+    assert y._parents == ()
+
+
+def test_no_grad_restores_state_and_nests():
+    assert is_grad_enabled()
+    with no_grad():
+        assert not is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert not is_grad_enabled()
+    assert is_grad_enabled()
+
+
+def test_no_grad_restores_after_exception():
+    try:
+        with no_grad():
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert is_grad_enabled()
+
+
+def test_grad_flows_normally_outside_no_grad():
+    x = Tensor([3.0], requires_grad=True)
+    (x * 2).sum().backward()
+    np.testing.assert_allclose(x.grad, [2.0])
+
+
+# ----------------------------------------------------------------------
+# activation checkpointing
+# ----------------------------------------------------------------------
+def make_classifier():
+    return SequenceClassifier(
+        bert_config(vocab_size=32, dim=32, num_layers=3, num_heads=2,
+                    max_seq_len=16), num_classes=3, seed=5)
+
+
+def make_lm():
+    return LanguageModel(
+        gpt2_config(vocab_size=32, dim=32, num_layers=3, num_heads=2,
+                    max_seq_len=16), seed=5)
+
+
+def batch(rng, size=4, seq=16, vocab=32):
+    tokens = rng.integers(0, vocab, size=(size, seq))
+    labels = rng.integers(0, 3, size=size)
+    return tokens, labels
+
+
+def grads_of(model):
+    return {name: (param.grad.copy() if param.grad is not None else None)
+            for name, param in model.named_parameters()}
+
+
+def test_checkpointed_classifier_loss_value_matches_full_graph(rng):
+    model = make_classifier()
+    tokens, labels = batch(rng)
+    full = model.loss(tokens, labels)
+    checkpointed = checkpointed_classifier_loss(model, tokens, labels)
+    assert checkpointed.item() == pytest.approx(full.item(), rel=1e-6)
+
+
+def test_checkpointed_classifier_grads_bit_identical(rng):
+    tokens, labels = batch(rng)
+    full_model = make_classifier()
+    full_model.loss(tokens, labels).backward()
+    full_grads = grads_of(full_model)
+
+    ckpt_model = make_classifier()
+    checkpointed_classifier_loss(ckpt_model, tokens, labels).backward()
+    ckpt_grads = grads_of(ckpt_model)
+
+    assert set(full_grads) == set(ckpt_grads)
+    for name in full_grads:
+        assert full_grads[name] is not None, name
+        np.testing.assert_array_equal(full_grads[name], ckpt_grads[name])
+
+
+def test_checkpointed_lm_grads_bit_identical(rng):
+    tokens = rng.integers(0, 32, size=(4, 16))
+    full_model = make_lm()
+    full_model.loss(tokens).backward()
+    full_grads = grads_of(full_model)
+
+    ckpt_model = make_lm()
+    checkpointed_lm_loss(ckpt_model, tokens).backward()
+    ckpt_grads = grads_of(ckpt_model)
+    for name in full_grads:
+        np.testing.assert_array_equal(full_grads[name],
+                                      ckpt_grads[name])
+
+
+def test_checkpointed_loss_scales_through_multiplication(rng):
+    """Loss scaling (loss * scale).backward() must reach the params —
+    the path the mixed-precision engines use."""
+    tokens, labels = batch(rng)
+    scale = 64.0
+
+    ref = make_classifier()
+    (ref.loss(tokens, labels) * scale).backward()
+    ckpt = make_classifier()
+    (checkpointed_classifier_loss(ckpt, tokens, labels)
+     * scale).backward()
+    for (name, p_ref), (_n2, p_ckpt) in zip(ref.named_parameters(),
+                                            ckpt.named_parameters()):
+        np.testing.assert_array_equal(p_ref.grad, p_ckpt.grad)
+
+
+def test_checkpointing_rejects_dropout(rng):
+    model = SequenceClassifier(
+        bert_config(vocab_size=32, dim=32, num_layers=2, num_heads=2,
+                    max_seq_len=16, dropout=0.1), num_classes=3, seed=0)
+    tokens, labels = batch(rng)
+    with pytest.raises(TrainingError, match="dropout"):
+        checkpointed_classifier_loss(model, tokens, labels)
+
+
+def test_checkpointed_head_must_be_scalar(rng):
+    model = make_classifier()
+    tokens, _labels = batch(rng)
+    with pytest.raises(TrainingError, match="scalar"):
+        checkpointed_loss(model.backbone, lambda x: x, tokens)
+
+
+def test_checkpointed_training_through_smart_engine(tmp_path, rng):
+    """The engines adopt checkpointing via a one-line loss_fn swap and
+    stay bit-identical to full-graph training."""
+    from repro.nn import make_classification_dataset
+    from repro.runtime import SmartInfinityEngine, TrainingConfig
+
+    dataset = make_classification_dataset(num_train=16, seq_len=16,
+                                          vocab_size=32, seed=1)
+    config = TrainingConfig(optimizer="adam",
+                            optimizer_kwargs={"lr": 1e-2},
+                            subgroup_elements=4096)
+
+    def full_loss(model, tokens, labels):
+        return model.loss(tokens, labels)
+
+    def ckpt_loss(model, tokens, labels):
+        return checkpointed_classifier_loss(model, tokens, labels)
+
+    losses = {}
+    for name, loss_fn in (("full", full_loss), ("ckpt", ckpt_loss)):
+        engine = SmartInfinityEngine(make_classifier(), loss_fn,
+                                     str(tmp_path / name), num_csds=2,
+                                     config=config)
+        losses[name] = [
+            engine.train_step(dataset.train_tokens[i:i + 4],
+                              dataset.train_labels[i:i + 4]).loss
+            for i in range(0, 16, 4)]
+        engine.close()
+    assert losses["full"] == losses["ckpt"]

@@ -1,0 +1,67 @@
+"""Tests for the analytic model zoo."""
+
+import pytest
+
+from repro.nn.models import ZOO, get_model, models_by_family
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_zoo_names_match_parameter_counts(name):
+    """Each entry's billions must match the size embedded in its name."""
+    spec = get_model(name)
+    claimed = float(name.split("-")[-1].rstrip("b"))
+    assert spec.billions == pytest.approx(claimed, rel=0.06)
+
+
+def test_fig9_gpt2_sizes_present():
+    for name in ("gpt2-1.16b", "gpt2-4.0b", "gpt2-8.4b"):
+        assert name in ZOO
+
+
+def test_fig10_large_sizes_present():
+    for name in ("gpt2-16.6b", "gpt2-24.6b", "gpt2-33.0b"):
+        assert name in ZOO
+
+
+def test_unknown_model_raises_with_candidates():
+    with pytest.raises(KeyError, match="gpt2-4.0b"):
+        get_model("nope")
+
+
+def test_models_by_family_sorted():
+    gpts = models_by_family("gpt2")
+    sizes = [spec.num_parameters for spec in gpts]
+    assert sizes == sorted(sizes)
+    assert all(spec.family == "gpt2" for spec in gpts)
+
+
+def test_byte_accounting_follows_paper_m_units():
+    spec = get_model("gpt2-4.0b")
+    m = spec.fp16_bytes()
+    assert m == 2 * spec.num_parameters
+    # Adam: 6M optimizer state (three fp32 words per parameter = 12 bytes
+    # = 6 x the 2-byte fp16 copy); gradients: 2M (one fp32 word).
+    assert spec.optimizer_state_bytes(3) == 6 * m
+    assert spec.gradient_bytes() == 2 * m
+
+
+def test_flops_scale_with_batch_and_size():
+    spec = get_model("gpt2-4.0b")
+    assert spec.forward_flops(8) == pytest.approx(2 * spec.forward_flops(4))
+    assert spec.backward_flops(4) == pytest.approx(
+        2 * spec.forward_flops(4))
+    bigger = get_model("gpt2-8.4b")
+    assert bigger.forward_flops(4) > spec.forward_flops(4)
+
+
+def test_forward_flops_dominated_by_dense_term():
+    spec = get_model("gpt2-4.0b")
+    tokens = 4 * spec.seq_len
+    dense = 2.0 * spec.num_parameters * tokens
+    assert spec.forward_flops(4) == pytest.approx(dense, rel=0.05)
+
+
+def test_iteration_flops_is_fw_plus_bw():
+    spec = get_model("gpt2-1.16b")
+    assert spec.iteration_flops(4) == pytest.approx(
+        spec.forward_flops(4) + spec.backward_flops(4))

@@ -1,0 +1,125 @@
+"""Tests for the module system."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Dropout, Embedding, LayerNorm, Linear, Module,
+                      Parameter, Sequential)
+from repro.nn.tensor import Tensor
+
+
+def make_rng():
+    return np.random.default_rng(0)
+
+
+def test_linear_shapes_and_bias():
+    layer = Linear(4, 3, make_rng())
+    out = layer(Tensor(np.ones((2, 4), dtype=np.float32)))
+    assert out.shape == (2, 3)
+    no_bias = Linear(4, 3, make_rng(), bias=False)
+    assert no_bias.bias is None
+    assert len(no_bias.parameters()) == 1
+
+
+def test_linear_is_affine():
+    layer = Linear(3, 2, make_rng())
+    x = np.ones((1, 3), dtype=np.float32)
+    expected = x @ layer.weight.data + layer.bias.data
+    np.testing.assert_allclose(layer(Tensor(x)).data, expected, rtol=1e-6)
+
+
+def test_embedding_lookup_shape():
+    table = Embedding(10, 6, make_rng())
+    out = table(np.array([[0, 1], [2, 3]]))
+    assert out.shape == (2, 2, 6)
+
+
+def test_layernorm_parameters():
+    norm = LayerNorm(8)
+    names = [name for name, _p in norm.named_parameters()]
+    assert names == ["weight", "bias"]
+
+
+def test_named_parameters_deterministic_and_dotted():
+    class Net(Module):
+        def __init__(self):
+            super().__init__()
+            self.fc1 = Linear(2, 2, make_rng())
+            self.fc2 = Linear(2, 2, make_rng())
+
+        def forward(self, x):
+            return self.fc2(self.fc1(x))
+
+    net = Net()
+    names = [name for name, _p in net.named_parameters()]
+    assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+    # Repeated traversal yields the identical order.
+    assert names == [name for name, _p in net.named_parameters()]
+
+
+def test_num_parameters_counts_elements():
+    layer = Linear(4, 3, make_rng())
+    assert layer.num_parameters() == 4 * 3 + 3
+
+
+def test_zero_grad_clears_all():
+    layer = Linear(2, 2, make_rng())
+    out = layer(Tensor(np.ones((1, 2), dtype=np.float32)))
+    out.sum().backward()
+    assert layer.weight.grad is not None
+    layer.zero_grad()
+    assert layer.weight.grad is None
+    assert layer.bias.grad is None
+
+
+def test_state_dict_roundtrip():
+    layer = Linear(3, 3, make_rng())
+    state = layer.state_dict()
+    layer.weight.data[:] = 0.0
+    layer.load_state_dict(state)
+    np.testing.assert_array_equal(layer.weight.data, state["weight"])
+
+
+def test_load_state_dict_rejects_mismatches():
+    layer = Linear(3, 3, make_rng())
+    with pytest.raises(KeyError):
+        layer.load_state_dict({"weight": np.zeros((3, 3))})
+    state = layer.state_dict()
+    state["weight"] = np.zeros((2, 2))
+    with pytest.raises(ValueError):
+        layer.load_state_dict(state)
+
+
+def test_train_eval_propagates():
+    seq = Sequential(Linear(2, 2, make_rng()), Dropout(0.5))
+    seq.eval()
+    assert not seq.training
+    for module in seq:
+        assert not module.training
+    seq.train()
+    assert seq.training
+
+
+def test_sequential_applies_in_order():
+    double = Linear(1, 1, make_rng(), bias=False)
+    double.weight.data[:] = 2.0
+    add_one = Linear(1, 1, make_rng())
+    add_one.weight.data[:] = 1.0
+    add_one.bias.data[:] = 1.0
+    seq = Sequential(double, add_one)
+    out = seq(Tensor(np.array([[3.0]], dtype=np.float32)))
+    assert out.data[0, 0] == pytest.approx(7.0)
+    assert len(seq) == 2
+
+
+def test_parameter_is_float32_and_requires_grad():
+    param = Parameter(np.arange(3, dtype=np.float64))
+    assert param.dtype == np.float32
+    assert param.requires_grad
+
+
+def test_dropout_module_eval_is_identity():
+    drop = Dropout(0.9)
+    drop.eval()
+    x = Tensor(np.ones(50, dtype=np.float32))
+    np.testing.assert_array_equal(drop(x).data, x.data)

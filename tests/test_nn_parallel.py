@@ -1,0 +1,142 @@
+"""Tests for the tensor-parallel substrate (§VIII-A)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn.modules import Linear
+from repro.nn.parallel import (CommMeter, TensorParallelAttention,
+                               TensorParallelMLP,
+                               expected_allreduce_bytes)
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import (MLP, MultiHeadAttention,
+                                  TransformerConfig)
+
+
+def config(heads=4, dim=16, attention="causal"):
+    return TransformerConfig(vocab_size=17, max_seq_len=12, dim=dim,
+                             num_layers=2, num_heads=heads,
+                             attention=attention)
+
+
+def make_input(rng, batch=2, seq=6, dim=16):
+    return Tensor(rng.standard_normal((batch, seq, dim)).astype(
+        np.float32))
+
+
+# ----------------------------------------------------------------------
+# MLP
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_tp_mlp_matches_dense(rng, num_shards):
+    cfg = config()
+    dense = MLP(cfg, np.random.default_rng(3))
+    meter = CommMeter(num_shards=num_shards)
+    sharded = TensorParallelMLP.from_dense(dense.fc, dense.proj,
+                                           num_shards, meter)
+    x = make_input(rng)
+    np.testing.assert_allclose(sharded(x).data, dense(x).data,
+                               rtol=1e-4, atol=1e-5)
+
+
+def test_tp_mlp_allreduce_accounting(rng):
+    cfg = config()
+    meter = CommMeter(num_shards=4)
+    dense = MLP(cfg, np.random.default_rng(3))
+    sharded = TensorParallelMLP.from_dense(dense.fc, dense.proj, 4, meter)
+    x = make_input(rng, batch=2, seq=6, dim=16)
+    sharded(x)
+    sharded(x)
+    assert meter.allreduce_ops == 2
+    assert meter.allreduce_bytes == pytest.approx(
+        expected_allreduce_bytes(4, batch=2, seq=6, dim=16, num_calls=2))
+
+
+def test_tp_mlp_rejects_indivisible_hidden():
+    meter = CommMeter(num_shards=3)
+    with pytest.raises(TrainingError):
+        TensorParallelMLP(dim=16, hidden=64, num_shards=3,
+                          rng=np.random.default_rng(0), meter=meter)
+
+
+def test_tp_mlp_gradients_flow_to_every_shard(rng):
+    meter = CommMeter(num_shards=2)
+    dense = MLP(config(), np.random.default_rng(3))
+    sharded = TensorParallelMLP.from_dense(dense.fc, dense.proj, 2, meter)
+    x = make_input(rng)
+    sharded(x).sum().backward()
+    for name, param in sharded.named_parameters():
+        assert param.grad is not None, name
+        assert np.abs(param.grad).sum() > 0, name
+
+
+def test_tp_mlp_gradients_match_dense(rng):
+    """Sharded training computes the same weight gradients, re-assembled."""
+    dense = MLP(config(), np.random.default_rng(3))
+    meter = CommMeter(num_shards=2)
+    sharded = TensorParallelMLP.from_dense(dense.fc, dense.proj, 2, meter)
+    x_data = rng.standard_normal((2, 6, 16)).astype(np.float32)
+
+    dense(Tensor(x_data)).sum().backward()
+    sharded(Tensor(x_data)).sum().backward()
+
+    fc_grad = np.concatenate([sharded.fc0.grad, sharded.fc1.grad],
+                             axis=1)
+    np.testing.assert_allclose(fc_grad, dense.fc.weight.grad, rtol=1e-4,
+                               atol=1e-5)
+    proj_grad = np.concatenate([sharded.proj0.grad, sharded.proj1.grad],
+                               axis=0)
+    np.testing.assert_allclose(proj_grad, dense.proj.weight.grad,
+                               rtol=1e-4, atol=1e-5)
+
+
+# ----------------------------------------------------------------------
+# attention
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+@pytest.mark.parametrize("attention", ["causal", "bidirectional"])
+def test_tp_attention_matches_dense(rng, num_shards, attention):
+    cfg = config(attention=attention)
+    dense = MultiHeadAttention(cfg, np.random.default_rng(5))
+    dense.eval()
+    meter = CommMeter(num_shards=num_shards)
+    sharded = TensorParallelAttention.from_dense(dense, num_shards, meter)
+    x = make_input(rng)
+    np.testing.assert_allclose(sharded(x).data, dense(x).data,
+                               rtol=1e-4, atol=1e-5)
+
+
+def test_tp_attention_rejects_indivisible_heads():
+    meter = CommMeter(num_shards=3)
+    with pytest.raises(TrainingError):
+        TensorParallelAttention(config(heads=4), 3,
+                                np.random.default_rng(0), meter)
+
+
+def test_tp_attention_rejects_dropout():
+    cfg = TransformerConfig(vocab_size=17, max_seq_len=12, dim=16,
+                            num_layers=1, num_heads=4, dropout=0.1)
+    with pytest.raises(TrainingError):
+        TensorParallelAttention(cfg, 2, np.random.default_rng(0),
+                                CommMeter(num_shards=2))
+
+
+def test_tp_attention_comm_volume(rng):
+    cfg = config()
+    dense = MultiHeadAttention(cfg, np.random.default_rng(5))
+    meter = CommMeter(num_shards=2)
+    sharded = TensorParallelAttention.from_dense(dense, 2, meter)
+    sharded(make_input(rng, batch=1, seq=4, dim=16))
+    assert meter.allreduce_bytes == pytest.approx(
+        expected_allreduce_bytes(2, batch=1, seq=4, dim=16, num_calls=1))
+
+
+def test_single_shard_has_zero_wire_traffic(rng):
+    """g=1 'parallelism' must move nothing (the (g-1)/g factor)."""
+    cfg = config()
+    dense = MLP(cfg, np.random.default_rng(3))
+    meter = CommMeter(num_shards=1)
+    sharded = TensorParallelMLP.from_dense(dense.fc, dense.proj, 1, meter)
+    sharded(make_input(rng))
+    assert meter.allreduce_bytes == 0.0
+    assert meter.allreduce_ops == 1

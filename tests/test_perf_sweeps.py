@@ -1,0 +1,56 @@
+"""Tests for the sweep helpers and their CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import HardwareConfigError
+from repro.perf.sweeps import (render_sweep, run_sweep, sweep_devices,
+                               sweep_models, sweep_ratios)
+
+
+def test_sweep_devices_rows_and_speedups():
+    rows = sweep_devices("gpt2-1.16b", counts=(2, 6))
+    assert [row.value for row in rows] == [2, 6]
+    assert all(row.baseline_time > 0 and row.smart_time > 0
+               for row in rows)
+    # More devices help Smart-Infinity more.
+    assert rows[1].speedup > rows[0].speedup
+
+
+def test_sweep_models_axis():
+    rows = sweep_models(("gpt2-1.16b", "gpt2-4.0b"), num_devices=6)
+    assert rows[0].value == "gpt2-1.16b"
+    assert rows[1].baseline_time > rows[0].baseline_time
+
+
+def test_sweep_ratios_shares_baseline():
+    rows = sweep_ratios("gpt2-1.16b", ratios=(0.01, 0.10), num_devices=6)
+    assert rows[0].baseline_time == rows[1].baseline_time
+    assert rows[0].smart_time <= rows[1].smart_time
+
+
+def test_run_sweep_dispatch():
+    rows = run_sweep("devices", model_name="gpt2-1.16b", counts=(2,))
+    assert len(rows) == 1
+    with pytest.raises(HardwareConfigError):
+        run_sweep("frequency")
+
+
+def test_render_sweep_formats_rows():
+    rows = sweep_devices("gpt2-1.16b", counts=(2,))
+    text = render_sweep(rows, "#devices")
+    assert "#devices" in text
+    assert "x" in text
+
+
+def test_cli_sweep_devices(capsys):
+    assert main(["sweep", "devices", "--model", "gpt2-1.16b",
+                 "--max-devices", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "#devices" in out
+    assert out.count("x") >= 3
+
+
+def test_cli_sweep_ratio(capsys):
+    assert main(["sweep", "ratio", "--model", "gpt2-1.16b"]) == 0
+    assert "ratio" in capsys.readouterr().out

@@ -1,0 +1,307 @@
+"""Integration tests for the training engines.
+
+These assert the paper's central functional claims:
+
+* SmartUpdate is algorithmically identical to the baseline — losses and
+  final parameters match *bitwise* (Table IV's "SU+O == Baseline" rows);
+* the host-interconnect traffic of each method matches Table I exactly;
+* SmartComp still learns, and its traffic shrinks to c% x 2M.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import SequenceClassifier, bert_config, \
+    make_classification_dataset
+from repro.runtime import (BaselineOffloadEngine, SmartInfinityEngine,
+                           TrainingConfig, distribute_shards,
+                           expected_traffic)
+
+VOCAB = 32
+SEQ = 16
+
+
+def loss_fn(model, tokens, labels):
+    return model.loss(tokens, labels)
+
+
+def make_model(seed=7):
+    return SequenceClassifier(
+        bert_config(vocab_size=VOCAB, dim=32, num_layers=2, num_heads=2,
+                    max_seq_len=SEQ), num_classes=3, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_classification_dataset(num_train=32, num_dev=16,
+                                       seq_len=SEQ, vocab_size=VOCAB,
+                                       seed=3)
+
+
+def train(engine, dataset, epochs=2, batch=8):
+    losses = []
+    for epoch in range(epochs):
+        rng = np.random.default_rng(epoch)
+        for tokens, labels in dataset.batches(batch, rng):
+            losses.append(engine.train_step(tokens, labels).loss)
+    return losses
+
+
+def config(**kwargs):
+    base = dict(optimizer="adam", optimizer_kwargs={"lr": 1e-2},
+                subgroup_elements=4096)
+    base.update(kwargs)
+    return TrainingConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# bit-identity
+# ----------------------------------------------------------------------
+def test_smartupdate_bitwise_identical_to_baseline(tmp_path, dataset):
+    runs = {}
+    engines = {
+        "baseline": lambda d: BaselineOffloadEngine(
+            make_model(), loss_fn, d, num_ssds=2, config=config()),
+        "su_handler": lambda d: SmartInfinityEngine(
+            make_model(), loss_fn, d, num_csds=3, config=config()),
+        "su_naive": lambda d: SmartInfinityEngine(
+            make_model(), loss_fn, d, num_csds=3,
+            config=config(use_transfer_handler=False)),
+    }
+    for name, factory in engines.items():
+        engine = factory(str(tmp_path / name))
+        losses = train(engine, dataset)
+        runs[name] = (losses, engine.space.gather_params())
+        engine.close()
+
+    base_losses, base_params = runs["baseline"]
+    for name in ("su_handler", "su_naive"):
+        losses, params = runs[name]
+        assert losses == base_losses, name
+        np.testing.assert_array_equal(params, base_params)
+
+
+def test_bit_identity_holds_for_sgd(tmp_path, dataset):
+    cfg = config(optimizer="sgd", optimizer_kwargs={"lr": 0.05})
+    base = BaselineOffloadEngine(make_model(), loss_fn,
+                                 str(tmp_path / "b"), num_ssds=1,
+                                 config=cfg)
+    smart = SmartInfinityEngine(make_model(), loss_fn,
+                                str(tmp_path / "s"), num_csds=2,
+                                config=cfg)
+    base_losses = train(base, dataset, epochs=1)
+    smart_losses = train(smart, dataset, epochs=1)
+    assert base_losses == smart_losses
+    np.testing.assert_array_equal(base.space.gather_params(),
+                                  smart.space.gather_params())
+    base.close()
+    smart.close()
+
+
+def test_identity_independent_of_csd_count(tmp_path, dataset):
+    finals = []
+    for count in (1, 2, 5):
+        engine = SmartInfinityEngine(make_model(), loss_fn,
+                                     str(tmp_path / f"n{count}"),
+                                     num_csds=count, config=config())
+        train(engine, dataset, epochs=1)
+        finals.append(engine.space.gather_params())
+        engine.close()
+    np.testing.assert_array_equal(finals[0], finals[1])
+    np.testing.assert_array_equal(finals[0], finals[2])
+
+
+# ----------------------------------------------------------------------
+# Table I traffic
+# ----------------------------------------------------------------------
+def test_baseline_traffic_matches_table1(tmp_path, dataset):
+    engine = BaselineOffloadEngine(make_model(), loss_fn,
+                                   str(tmp_path / "b"), num_ssds=2,
+                                   config=config())
+    result = engine.train_step(dataset.train_tokens[:4],
+                               dataset.train_labels[:4])
+    expected = expected_traffic(engine.num_params, "baseline")
+    assert result.traffic.host_reads == expected["host_reads"]
+    assert result.traffic.host_writes == expected["host_writes"]
+    engine.close()
+
+
+def test_smartupdate_traffic_matches_table1(tmp_path, dataset):
+    engine = SmartInfinityEngine(make_model(), loss_fn,
+                                 str(tmp_path / "s"), num_csds=3,
+                                 config=config())
+    result = engine.train_step(dataset.train_tokens[:4],
+                               dataset.train_labels[:4])
+    expected = expected_traffic(engine.num_params, "smartupdate")
+    assert result.traffic.host_reads == expected["host_reads"]
+    assert result.traffic.host_writes == expected["host_writes"]
+    # The removed optimizer-state traffic moved to the internal path.
+    assert result.traffic.internal_total > 0
+    engine.close()
+
+
+def test_smartupdate_reduces_host_traffic_4x_for_adam(tmp_path, dataset):
+    base = expected_traffic(100, "baseline")
+    smart = expected_traffic(100, "smartupdate")
+    ratio = (base["host_reads"] + base["host_writes"]) / (
+        smart["host_reads"] + smart["host_writes"])
+    assert ratio == pytest.approx(4.0)
+
+
+def test_smartcomp_traffic_matches_table1(tmp_path, dataset):
+    ratio = 0.02
+    engine = SmartInfinityEngine(make_model(), loss_fn,
+                                 str(tmp_path / "c"), num_csds=3,
+                                 config=config(compression_ratio=ratio))
+    result = engine.train_step(dataset.train_tokens[:4],
+                               dataset.train_labels[:4])
+    shard_sizes = [s.count for s in
+                   distribute_shards(engine.num_params, 3)]
+    expected = expected_traffic(engine.num_params, "smartcomp",
+                                compression_ratio=ratio,
+                                shard_sizes=shard_sizes)
+    assert result.traffic.host_writes == expected["host_writes"]
+    assert result.traffic.host_reads == expected["host_reads"]
+    engine.close()
+
+
+def test_sgd_traffic_uses_4m_states(tmp_path, dataset):
+    cfg = config(optimizer="sgd", optimizer_kwargs={"lr": 0.05})
+    engine = BaselineOffloadEngine(make_model(), loss_fn,
+                                   str(tmp_path / "sg"), num_ssds=1,
+                                   config=cfg)
+    result = engine.train_step(dataset.train_tokens[:4],
+                               dataset.train_labels[:4])
+    expected = expected_traffic(engine.num_params, "baseline",
+                                states_per_param=2)
+    assert result.traffic.host_reads == expected["host_reads"]
+    assert result.traffic.host_writes == expected["host_writes"]
+    engine.close()
+
+
+def test_traffic_metered_per_iteration(tmp_path, dataset):
+    engine = SmartInfinityEngine(make_model(), loss_fn,
+                                 str(tmp_path / "m"), num_csds=2,
+                                 config=config())
+    engine.train_step(dataset.train_tokens[:4], dataset.train_labels[:4])
+    engine.train_step(dataset.train_tokens[:4], dataset.train_labels[:4])
+    assert len(engine.meter.iterations) == 2
+    first, second = engine.meter.iterations
+    assert first.host_total == second.host_total
+    engine.close()
+
+
+# ----------------------------------------------------------------------
+# learning and mixed-precision behaviour
+# ----------------------------------------------------------------------
+def test_all_engines_learn_the_task(tmp_path, dataset):
+    for name, factory in {
+        "baseline": lambda d: BaselineOffloadEngine(
+            make_model(), loss_fn, d, num_ssds=1, config=config()),
+        "smart": lambda d: SmartInfinityEngine(
+            make_model(), loss_fn, d, num_csds=2, config=config()),
+        "smartcomp": lambda d: SmartInfinityEngine(
+            make_model(), loss_fn, d, num_csds=2,
+            config=config(compression_ratio=0.3)),
+    }.items():
+        engine = factory(str(tmp_path / name))
+        losses = train(engine, dataset, epochs=4)
+        smoothed_first = float(np.mean(losses[:4]))
+        smoothed_last = float(np.mean(losses[-4:]))
+        assert smoothed_last < smoothed_first, name
+        engine.close()
+
+
+def test_overflow_skips_update_and_halves_scale(tmp_path, dataset):
+    cfg = config(initial_loss_scale=2.0 ** 126)
+    engine = SmartInfinityEngine(make_model(), loss_fn,
+                                 str(tmp_path / "ov"), num_csds=2,
+                                 config=cfg)
+    before = engine.space.gather_params().copy()
+    result = engine.train_step(dataset.train_tokens[:4],
+                               dataset.train_labels[:4])
+    assert result.overflow
+    assert result.step == 0  # skipped
+    assert engine.scaler.scale == 2.0 ** 125
+    assert engine.scaler.skipped_steps == 1
+    np.testing.assert_array_equal(engine.space.gather_params(), before)
+    # After the scale backs off far enough, training proceeds.
+    for _ in range(30):
+        result = engine.train_step(dataset.train_tokens[:4],
+                                   dataset.train_labels[:4])
+        if not result.overflow:
+            break
+    assert not result.overflow
+    assert engine.step_count == 1
+    engine.close()
+
+
+def test_gradient_clipping_bounds_reported_norm(tmp_path, dataset):
+    cfg = config()
+    engine = BaselineOffloadEngine(make_model(), loss_fn,
+                                   str(tmp_path / "clip"), num_ssds=1,
+                                   config=cfg)
+    result = engine.train_step(dataset.train_tokens[:8],
+                               dataset.train_labels[:8])
+    assert result.grad_norm > 0
+    engine.close()
+
+
+def test_working_params_are_fp16_quantized(tmp_path, dataset):
+    engine = SmartInfinityEngine(make_model(), loss_fn,
+                                 str(tmp_path / "fp16"), num_csds=2,
+                                 config=config())
+    engine.train_step(dataset.train_tokens[:4], dataset.train_labels[:4])
+    working = engine.space.gather_params()
+    # Every working value must be exactly representable in fp16.
+    np.testing.assert_array_equal(
+        working, working.astype(np.float16).astype(np.float32))
+    # But the fp32 masters on storage generally are not fp16 values.
+    masters = np.concatenate([
+        device.store.read_array("master_params")
+        for device in engine.devices])
+    assert not np.array_equal(
+        masters, masters.astype(np.float16).astype(np.float32))
+    engine.close()
+
+
+def test_engine_rejects_zero_devices(tmp_path):
+    with pytest.raises(TrainingError):
+        SmartInfinityEngine(make_model(), loss_fn, str(tmp_path / "z"),
+                            num_csds=0)
+    with pytest.raises(TrainingError):
+        BaselineOffloadEngine(make_model(), loss_fn, str(tmp_path / "z2"),
+                              num_ssds=0)
+
+
+def test_error_feedback_changes_compressed_training(tmp_path, dataset):
+    """With error feedback the trajectory differs from feedback-free
+    compression (residuals are replayed)."""
+    final = {}
+    for flag in (True, False):
+        engine = SmartInfinityEngine(
+            make_model(), loss_fn, str(tmp_path / f"ef{flag}"),
+            num_csds=2,
+            config=config(compression_ratio=0.1, error_feedback=flag))
+        train(engine, dataset, epochs=1)
+        final[flag] = engine.space.gather_params()
+        engine.close()
+    assert not np.array_equal(final[True], final[False])
+
+
+def test_traffic_invariant_to_subgroup_size(tmp_path, dataset):
+    """Interconnect bytes are a property of the method, not of the
+    subgroup/tasklet granularity."""
+    totals = {}
+    for size in (1024, 4096, 100_000):
+        engine = SmartInfinityEngine(
+            make_model(), loss_fn, str(tmp_path / f"sg{size}"),
+            num_csds=2, config=config(subgroup_elements=size))
+        result = engine.train_step(dataset.train_tokens[:4],
+                                   dataset.train_labels[:4])
+        totals[size] = (result.traffic.host_reads,
+                        result.traffic.host_writes,
+                        result.traffic.internal_total)
+        engine.close()
+    assert len(set(totals.values())) == 1

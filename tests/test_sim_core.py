@@ -1,0 +1,203 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_initial_time_is_zero():
+    assert Simulator().now == 0.0
+
+
+def test_timeout_advances_time():
+    sim = Simulator()
+    sim.timeout(2.5)
+    assert sim.run() == 2.5
+
+
+def test_zero_timeout_fires_at_current_time():
+    sim = Simulator()
+    fired = []
+    sim.timeout(0.0).add_callback(lambda e: fired.append(sim.now))
+    sim.run()
+    assert fired == [0.0]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    event = sim.timeout(1.0, value="payload")
+    sim.run()
+    assert event.value == "payload"
+
+
+def test_event_succeed_runs_callbacks_in_order():
+    sim = Simulator()
+    order = []
+    event = sim.event()
+    event.add_callback(lambda e: order.append(1))
+    event.add_callback(lambda e: order.append(2))
+    event.succeed()
+    assert order == [1, 2]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_callback_on_triggered_event_runs_immediately():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(42)
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    assert seen == [42]
+
+
+def test_process_returns_value():
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+        return "done"
+
+    proc = sim.process(worker(sim))
+    sim.run()
+    assert proc.triggered
+    assert proc.value == "done"
+
+
+def test_process_receives_event_values():
+    sim = Simulator()
+
+    def worker(sim):
+        value = yield sim.timeout(1.0, value=7)
+        return value * 2
+
+    proc = sim.process(worker(sim))
+    sim.run()
+    assert proc.value == 14
+
+
+def test_process_join_waits_for_child():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(3.0)
+        return "child-result"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return (sim.now, result)
+
+    proc = sim.process(parent(sim))
+    sim.run()
+    assert proc.value == (3.0, "child-result")
+
+
+def test_processes_interleave_deterministically():
+    sim = Simulator()
+    trace = []
+
+    def worker(sim, name, delay):
+        yield sim.timeout(delay)
+        trace.append(name)
+        yield sim.timeout(delay)
+        trace.append(name)
+
+    sim.process(worker(sim, "a", 1.0))
+    sim.process(worker(sim, "b", 1.0))
+    sim.run()
+    # Same-time events fire in scheduling order: a before b, twice.
+    assert trace == ["a", "b", "a", "b"]
+
+
+def test_process_must_yield_events():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 123  # not an Event
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_all_of_waits_for_every_child():
+    sim = Simulator()
+    barrier = sim.all_of([sim.timeout(1.0, value="x"),
+                          sim.timeout(5.0, value="y")])
+    done_at = []
+    barrier.add_callback(lambda e: done_at.append(sim.now))
+    sim.run()
+    assert done_at == [5.0]
+    assert barrier.value == ["x", "y"]
+
+
+def test_all_of_empty_triggers_immediately():
+    sim = Simulator()
+    barrier = sim.all_of([])
+    sim.run()
+    assert barrier.triggered
+    assert barrier.value == []
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+    sim.timeout(10.0)
+    assert sim.run(until=4.0) == 4.0
+    assert sim.run() == 10.0
+
+
+def test_run_until_beyond_last_event_returns_until():
+    sim = Simulator()
+    sim.timeout(1.0)
+    assert sim.run(until=100.0) == 100.0
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever(sim):
+        while True:
+            yield sim.timeout(0.001)
+
+    sim.process(forever(sim))
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_events_processed_counter_increases():
+    sim = Simulator()
+    for _ in range(5):
+        sim.timeout(1.0)
+    sim.run()
+    assert sim.events_processed >= 5
+
+
+def test_nested_processes_compose():
+    sim = Simulator()
+
+    def leaf(sim, delay):
+        yield sim.timeout(delay)
+        return delay
+
+    def fan_out(sim):
+        total = yield sim.all_of([sim.process(leaf(sim, d))
+                                  for d in (1.0, 2.0, 3.0)])
+        return sum(total)
+
+    proc = sim.process(fan_out(sim))
+    sim.run()
+    assert proc.value == 6.0
+    assert sim.now == 3.0

@@ -1,0 +1,235 @@
+"""Tests for channels, semaphores, stores, and the phase clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Channel, PhaseClock, Semaphore, Simulator, Store
+
+
+# ----------------------------------------------------------------------
+# Channel
+# ----------------------------------------------------------------------
+def test_channel_transfer_time():
+    sim = Simulator()
+    channel = Channel(sim, "link", bandwidth=100.0)
+    channel.transfer(250.0)
+    assert sim.run() == pytest.approx(2.5)
+
+
+def test_channel_latency_added_per_op():
+    sim = Simulator()
+    channel = Channel(sim, "link", bandwidth=100.0, latency=0.5)
+    channel.transfer(100.0)
+    assert sim.run() == pytest.approx(1.5)
+
+
+def test_channel_serializes_fifo():
+    sim = Simulator()
+    channel = Channel(sim, "link", bandwidth=10.0)
+    first = channel.transfer(10.0)
+    second = channel.transfer(10.0)
+    ends = {}
+    first.add_callback(lambda e: ends.setdefault("first", sim.now))
+    second.add_callback(lambda e: ends.setdefault("second", sim.now))
+    sim.run()
+    assert ends["first"] == pytest.approx(1.0)
+    assert ends["second"] == pytest.approx(2.0)
+
+
+def test_two_channels_overlap():
+    sim = Simulator()
+    a = Channel(sim, "a", bandwidth=10.0)
+    b = Channel(sim, "b", bandwidth=10.0)
+    a.transfer(10.0)
+    b.transfer(10.0)
+    assert sim.run() == pytest.approx(1.0)
+
+
+def test_channel_zero_byte_transfer_pays_latency_only():
+    sim = Simulator()
+    channel = Channel(sim, "link", bandwidth=10.0, latency=0.25)
+    channel.transfer(0.0)
+    assert sim.run() == pytest.approx(0.25)
+
+
+def test_channel_rejects_bad_config():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Channel(sim, "bad", bandwidth=0.0)
+    with pytest.raises(SimulationError):
+        Channel(sim, "bad", bandwidth=1.0, latency=-1.0)
+
+
+def test_channel_rejects_negative_size():
+    sim = Simulator()
+    channel = Channel(sim, "link", bandwidth=10.0)
+    with pytest.raises(SimulationError):
+        channel.transfer(-5.0)
+
+
+def test_channel_accounting():
+    sim = Simulator()
+    channel = Channel(sim, "link", bandwidth=10.0)
+    channel.transfer(10.0, tag="x")
+    channel.transfer(30.0, tag="y")
+    sim.run()
+    assert channel.bytes_total == 40.0
+    assert channel.ops_total == 2
+    assert channel.busy_time() == pytest.approx(4.0)
+    assert channel.utilization() == pytest.approx(1.0)
+    tags = [record.tag for record in channel.records]
+    assert tags == ["x", "y"]
+
+
+def test_channel_utilization_with_idle_time():
+    sim = Simulator()
+    channel = Channel(sim, "link", bandwidth=10.0)
+    channel.transfer(10.0)
+    sim.timeout(3.0)
+    sim.run()
+    assert channel.utilization() == pytest.approx(1.0 / 3.0)
+
+
+def test_channel_gap_then_transfer():
+    sim = Simulator()
+    channel = Channel(sim, "link", bandwidth=10.0)
+
+    def late(sim):
+        yield sim.timeout(5.0)
+        yield channel.transfer(10.0)
+        return sim.now
+
+    proc = sim.process(late(sim))
+    sim.run()
+    assert proc.value == pytest.approx(6.0)
+
+
+# ----------------------------------------------------------------------
+# Semaphore
+# ----------------------------------------------------------------------
+def test_semaphore_limits_concurrency():
+    sim = Simulator()
+    sem = Semaphore(sim, "slots", capacity=2)
+    active = []
+    peak = []
+
+    def worker(sim):
+        yield sem.acquire()
+        active.append(1)
+        peak.append(len(active))
+        yield sim.timeout(1.0)
+        active.pop()
+        sem.release()
+
+    for _ in range(5):
+        sim.process(worker(sim))
+    sim.run()
+    assert max(peak) == 2
+    assert sem.max_in_use == 2
+
+
+def test_semaphore_fifo_order():
+    sim = Simulator()
+    sem = Semaphore(sim, "slots", capacity=1)
+    order = []
+
+    def worker(sim, name):
+        yield sem.acquire()
+        order.append(name)
+        yield sim.timeout(1.0)
+        sem.release()
+
+    for name in ("a", "b", "c"):
+        sim.process(worker(sim, name))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_semaphore_release_without_acquire_rejected():
+    sim = Simulator()
+    sem = Semaphore(sim, "slots", capacity=1)
+    with pytest.raises(SimulationError):
+        sem.release()
+
+
+def test_semaphore_invalid_capacity():
+    with pytest.raises(SimulationError):
+        Semaphore(Simulator(), "bad", capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("item")
+    event = store.get()
+    sim.run()
+    assert event.value == "item"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def consumer(sim):
+        item = yield store.get()
+        received.append((sim.now, item))
+
+    def producer(sim):
+        yield sim.timeout(2.0)
+        store.put("late")
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert received == [(2.0, "late")]
+
+
+def test_store_preserves_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    for value in (1, 2, 3):
+        store.put(value)
+    values = []
+    for _ in range(3):
+        store.get().add_callback(lambda e: values.append(e.value))
+    sim.run()
+    assert values == [1, 2, 3]
+    assert len(store) == 0
+
+
+# ----------------------------------------------------------------------
+# PhaseClock
+# ----------------------------------------------------------------------
+def test_phase_clock_accumulates():
+    sim = Simulator()
+    clock = PhaseClock(sim)
+
+    def run(sim):
+        clock.begin("fw")
+        yield sim.timeout(1.0)
+        clock.end("fw")
+        clock.begin("bw")
+        yield sim.timeout(2.0)
+        clock.end("bw")
+        clock.begin("fw")
+        yield sim.timeout(0.5)
+        clock.end("fw")
+
+    sim.process(run(sim))
+    sim.run()
+    assert clock.totals["fw"] == pytest.approx(1.5)
+    assert clock.totals["bw"] == pytest.approx(2.0)
+    assert clock.total() == pytest.approx(3.5)
+
+
+def test_phase_clock_rejects_double_begin_and_stray_end():
+    clock = PhaseClock(Simulator())
+    clock.begin("x")
+    with pytest.raises(SimulationError):
+        clock.begin("x")
+    with pytest.raises(SimulationError):
+        clock.end("never-started")

@@ -1,0 +1,88 @@
+"""Tests for timeline/bottleneck analysis over channels."""
+
+import pytest
+
+from repro.sim import (Channel, Simulator, bottleneck, busy_in_window,
+                       phase_channel_matrix, render_timeline,
+                       summarize_channels, traffic_by_tag)
+
+
+def make_activity():
+    sim = Simulator()
+    fast = Channel(sim, "fast", bandwidth=100.0)
+    slow = Channel(sim, "slow", bandwidth=10.0)
+    fast.transfer(100.0, tag="a")   # busy [0, 1]
+    slow.transfer(100.0, tag="b")   # busy [0, 10]
+    slow.transfer(50.0, tag="a")    # busy [10, 15]
+    sim.run()
+    return sim, fast, slow
+
+
+def test_summaries_sorted_by_busy_time():
+    _sim, fast, slow = make_activity()
+    summaries = summarize_channels([fast, slow])
+    assert summaries[0].name == "slow"
+    assert summaries[0].busy_time == pytest.approx(15.0)
+    assert summaries[1].busy_time == pytest.approx(1.0)
+
+
+def test_bottleneck_is_busiest_channel():
+    _sim, fast, slow = make_activity()
+    assert bottleneck([fast, slow]).name == "slow"
+
+
+def test_bottleneck_requires_channels():
+    with pytest.raises(ValueError):
+        bottleneck([])
+
+
+def test_summary_achieved_bandwidth():
+    _sim, fast, _slow = make_activity()
+    summary = summarize_channels([fast])[0]
+    assert summary.achieved_bandwidth == pytest.approx(100.0)
+    assert summary.utilization == pytest.approx(1.0 / 15.0)
+
+
+def test_busy_in_window_partial_overlap():
+    _sim, _fast, slow = make_activity()
+    # slow busy over [0, 15]; window [5, 12] fully covered.
+    assert busy_in_window(slow.records, 5.0, 12.0) == pytest.approx(7.0)
+    # Window entirely after activity.
+    assert busy_in_window(slow.records, 20.0, 25.0) == 0.0
+    # Degenerate window.
+    assert busy_in_window(slow.records, 5.0, 5.0) == 0.0
+
+
+def test_traffic_by_tag_aggregates_across_channels():
+    _sim, fast, slow = make_activity()
+    totals = traffic_by_tag([fast, slow])
+    assert totals["a"] == pytest.approx(150.0)
+    assert totals["b"] == pytest.approx(100.0)
+
+
+def test_render_timeline_shows_busy_buckets():
+    _sim, fast, slow = make_activity()
+    art = render_timeline([fast, slow], horizon=15.0, width=15)
+    lines = art.splitlines()
+    assert len(lines) == 3
+    fast_row = lines[1]
+    slow_row = lines[2]
+    # fast is busy only in the first bucket; slow in every bucket.
+    assert fast_row.count("#") == 1
+    assert slow_row.count("#") == 15
+
+
+def test_render_timeline_rejects_bad_horizon():
+    _sim, fast, _slow = make_activity()
+    with pytest.raises(ValueError):
+        render_timeline([fast], horizon=0.0)
+
+
+def test_phase_channel_matrix():
+    _sim, fast, slow = make_activity()
+    matrix = phase_channel_matrix(
+        [fast, slow], {"early": (0.0, 1.0), "late": (10.0, 15.0)})
+    assert matrix["early"]["fast"] == pytest.approx(1.0)
+    assert matrix["early"]["slow"] == pytest.approx(1.0)
+    assert matrix["late"]["fast"] == 0.0
+    assert matrix["late"]["slow"] == pytest.approx(5.0)
