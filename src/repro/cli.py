@@ -1,29 +1,47 @@
 """Command-line interface.
 
-Four subcommands::
+Six subcommands:
+
+* ``list-models`` — print the analytic model zoo (names, sizes, shapes).
+* ``simulate`` — run one DES training-iteration configuration and print
+  its phase breakdown and speedup over the baseline.
+* ``analyze`` — per-channel bottleneck attribution for every method on
+  one machine, optionally with an ASCII occupancy timeline.
+* ``sweep`` — sweep one axis (devices / model / ratio) and tabulate the
+  resulting speedups.
+* ``experiment`` — regenerate any paper table or figure by id.
+* ``trace`` — export a Chrome trace-event JSON (open in Perfetto)
+  unifying the sim-time DES timeline with wall-clock telemetry spans
+  from a functional-engine proxy run.
+
+Examples::
 
     python -m repro list-models
     python -m repro simulate --model gpt2-8.4b --csds 10 --method su_o_c
-    python -m repro analyze --model gpt2-8.4b --csds 10
+    python -m repro analyze --model gpt2-8.4b --csds 10 --timeline
+    python -m repro sweep devices --model gpt2-4.0b
     python -m repro experiment fig9
+    python -m repro trace --model gpt2-4.0b --csds 6 --method su_o_c
 
-``experiment`` regenerates any paper table/figure by id; ``simulate``
-runs a single DES configuration; ``analyze`` prints the per-channel
-bottleneck attribution for every method on one machine.
+``simulate`` and ``analyze`` accept ``--metrics`` to print a
+Prometheus-style exposition of per-channel counters and gauges.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 from typing import List, Optional
 
+from . import telemetry
 from .experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
 from .hw.gpu import a100_40g, a4000, a5000
 from .hw.topology import default_system
 from .nn.models import ZOO, get_model
 from .perf.analysis import compare_bottlenecks
-from .perf.scenarios import EXTENSION_METHODS, METHODS, simulate_iteration
+from .perf.scenarios import (EXTENSION_METHODS, METHODS,
+                             simulate_iteration, trace_scenario)
 from .perf.sweeps import render_sweep, sweep_devices, sweep_models, \
     sweep_ratios
 from .perf.workload import make_workload
@@ -51,6 +69,9 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--optimizer", default="adam")
     simulate.add_argument("--ratio", type=float, default=0.02,
                           help="SmartComp volume ratio")
+    simulate.add_argument("--metrics", action="store_true",
+                          help="print a Prometheus-style exposition of "
+                               "the simulated channel metrics")
 
     analyze = commands.add_parser(
         "analyze", help="per-channel bottleneck attribution")
@@ -60,6 +81,30 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--timeline", action="store_true",
                          help="render an ASCII occupancy timeline of the "
                               "baseline and SU+O+C runs")
+    analyze.add_argument("--metrics", action="store_true",
+                         help="print a Prometheus-style exposition of "
+                              "per-channel metrics for baseline and "
+                              "SU+O+C")
+
+    trace = commands.add_parser(
+        "trace", help="export a Chrome trace-event JSON for Perfetto")
+    trace.add_argument("--model", default="gpt2-4.0b")
+    trace.add_argument("--csds", type=int, default=6)
+    trace.add_argument("--method", default="su_o_c",
+                       choices=METHODS + EXTENSION_METHODS)
+    trace.add_argument("--gpu", default="a5000", choices=sorted(_GPUS))
+    trace.add_argument("--ratio", type=float, default=0.02,
+                       help="SmartComp volume ratio")
+    trace.add_argument("--out", default=None,
+                       help="output path (default "
+                            "<model>-<method>.trace.json)")
+    trace.add_argument("--skip-functional", action="store_true",
+                       help="omit the tiny functional-engine proxy run "
+                            "(trace will contain only the sim-time "
+                            "domain)")
+    trace.add_argument("--metrics", action="store_true",
+                       help="also print the Prometheus-style metrics "
+                            "collected during the trace")
 
     sweep = commands.add_parser(
         "sweep", help="sweep one axis and tabulate speedups")
@@ -93,8 +138,9 @@ def _cmd_simulate(args) -> int:
                              batch_size=args.batch_size,
                              optimizer=args.optimizer)
     system = default_system(num_csds=args.csds, gpu=_GPUS[args.gpu]())
-    breakdown = simulate_iteration(system, workload, args.method,
-                                   compression_ratio=args.ratio)
+    trace = trace_scenario(system, workload, args.method,
+                           compression_ratio=args.ratio)
+    breakdown = trace.breakdown
     base = simulate_iteration(system, workload, "baseline")
     print(f"model {args.model}, {args.csds} device(s), {args.gpu}, "
           f"method {args.method}")
@@ -104,6 +150,13 @@ def _cmd_simulate(args) -> int:
     print(f"  iteration       {breakdown.total:8.3f} s")
     if args.method != "baseline":
         print(f"  speedup vs BASE {breakdown.speedup_over(base):8.2f} x")
+    if args.metrics:
+        registry = telemetry.MetricsRegistry()
+        telemetry.record_channel_metrics(
+            registry, trace.fabric.all_channels(),
+            horizon=breakdown.total, method=args.method)
+        print()
+        print(registry.render_prometheus(), end="")
     return 0
 
 
@@ -125,6 +178,82 @@ def _cmd_analyze(args) -> int:
             print(f"--- {method} ---")
             print(render_timeline(channels, horizon=breakdown.total))
             print()
+    if args.metrics:
+        registry = telemetry.MetricsRegistry()
+        for method in ("baseline", "su_o_c"):
+            trace = trace_scenario(system, workload, method)
+            telemetry.record_channel_metrics(
+                registry, trace.fabric.all_channels(),
+                horizon=trace.breakdown.total, method=method)
+        print(registry.render_prometheus(), end="")
+    return 0
+
+
+def _run_functional_proxy(num_csds: int, method: str,
+                          ratio: float) -> None:
+    """Train one step of a tiny model through the functional engine.
+
+    The proxy exists so the exported trace's wall-clock process contains
+    real engine / handler / storage spans (worker threads included); the
+    model is deliberately tiny because the span *structure*, not the
+    duration, is what the timeline view is for.
+    """
+    import numpy as np
+
+    from .nn import SequenceClassifier, bert_config
+    from .runtime import SmartInfinityEngine, TrainingConfig
+
+    rng = np.random.default_rng(0)
+    tokens = rng.integers(0, 32, size=(4, 16))
+    labels = rng.integers(0, 2, size=4)
+    model = SequenceClassifier(
+        bert_config(vocab_size=32, dim=32, num_layers=2, num_heads=2,
+                    max_seq_len=16), num_classes=2, seed=0)
+    config = TrainingConfig(
+        optimizer="adam", optimizer_kwargs={"lr": 1e-3},
+        subgroup_elements=4096,
+        compression_ratio=ratio if method in ("su_o_c", "su_o_c_q")
+        else None,
+        use_transfer_handler=method != "su")
+    with tempfile.TemporaryDirectory() as workdir:
+        with SmartInfinityEngine(model, lambda m, t, l: m.loss(t, l),
+                                 workdir, num_csds=min(num_csds, 2),
+                                 config=config) as engine:
+            engine.train_step(tokens, labels)
+
+
+def _cmd_trace(args) -> int:
+    out = args.out or f"{args.model}-{args.method}.trace.json"
+    workload = make_workload(get_model(args.model))
+    system = default_system(num_csds=args.csds, gpu=_GPUS[args.gpu]())
+    with telemetry.session() as session:
+        with telemetry.trace_span("des.simulate", model=args.model,
+                                  method=args.method, csds=args.csds):
+            trace = trace_scenario(system, workload, args.method,
+                                   compression_ratio=args.ratio)
+        if not args.skip_functional:
+            with telemetry.trace_span("functional.proxy",
+                                      method=args.method):
+                _run_functional_proxy(args.csds, args.method, args.ratio)
+        telemetry.record_channel_metrics(
+            session.registry, trace.fabric.all_channels(),
+            horizon=trace.breakdown.total, method=args.method)
+    telemetry.write_chrome_trace(
+        out,
+        spans=session.tracer.spans,
+        channels=trace.fabric.all_channels(),
+        phases=trace.phase_windows,
+        metadata={"model": args.model, "method": args.method,
+                  "csds": args.csds,
+                  "iteration_seconds": trace.breakdown.total})
+    print(f"wrote {out}: {len(session.tracer.spans)} wall-clock spans, "
+          f"{sum(len(c.records) for c in trace.fabric.all_channels())} "
+          f"sim-time transfers, {len(trace.phase_windows)} phase "
+          f"window(s)")
+    print("open it at https://ui.perfetto.dev or chrome://tracing")
+    if args.metrics:
+        print()
+        print(session.registry.render_prometheus(), end="")
     return 0
 
 
@@ -157,6 +286,7 @@ _HANDLERS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
     "experiment": _cmd_experiment,
+    "trace": _cmd_trace,
 }
 
 

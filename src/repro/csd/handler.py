@@ -24,11 +24,13 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import CapacityError, KernelError
 from .device import SmartSSDDevice
 from .kernels import UpdaterKernel
@@ -125,6 +127,12 @@ class TransferHandler:
             if item is None:
                 return
             name, start, count = item
+            # Explicit begin/end: this span opens and closes inside the
+            # worker loop, the case the context-manager form cannot cover.
+            token = telemetry.span_begin(
+                "handler.lazy_writeback", device=self.device.device_id,
+                region=name, elements=count)
+            begin = time.perf_counter() if token is not None else 0.0
             try:
                 if self._writer_error is None:
                     self.device.p2p_write_from(name, start,
@@ -138,6 +146,15 @@ class TransferHandler:
             finally:
                 self._buffer_free[name].set()
                 self._lazy_queue.task_done()
+                telemetry.span_end(token)
+                if token is not None:
+                    telemetry.histogram(
+                        "handler_lazy_writeback_latency_us",
+                        (time.perf_counter() - begin) * 1e6,
+                        device=self.device.device_id)
+                    telemetry.gauge("handler_lazy_queue_depth",
+                                    self._lazy_queue.qsize(),
+                                    device=self.device.device_id)
 
     def _check_writer(self) -> None:
         if self._writer_error is not None:
@@ -170,43 +187,63 @@ class TransferHandler:
                     f"pre-allocated {self.max_subgroup_elements}")
             self._check_writer()
 
-            # Load phase.  Parameters/gradients can load immediately (their
-            # buffers were freed by the urgent write-back); each state
-            # buffer must wait for its own lazy write-back to drain.
-            params = self.device.p2p_read_into(
-                self.URGENT, subgroup.start, self.buffers[self.URGENT],
-                subgroup.count)
-            grads = load_grads(subgroup, self.buffers["grads"])
-            state = {}
-            for name in self.state_names:
-                self._buffer_free[name].wait()
-                state[name] = self.device.p2p_read_into(
-                    name, subgroup.start, self.buffers[name], subgroup.count)
+            with telemetry.trace_span(
+                    "handler.subgroup", device=self.device.device_id,
+                    subgroup=subgroup.index, elements=subgroup.count):
+                # Load phase.  Parameters/gradients can load immediately
+                # (their buffers were freed by the urgent write-back); each
+                # state buffer must wait for its lazy write-back to drain.
+                with telemetry.trace_span("handler.load"):
+                    params = self.device.p2p_read_into(
+                        self.URGENT, subgroup.start,
+                        self.buffers[self.URGENT], subgroup.count)
+                    grads = load_grads(subgroup, self.buffers["grads"])
+                    state = {}
+                    for name in self.state_names:
+                        self._buffer_free[name].wait()
+                        state[name] = self.device.p2p_read_into(
+                            name, subgroup.start, self.buffers[name],
+                            subgroup.count)
 
-            # Update phase on the FPGA.
-            kernel.run(params, grads, state, step_num)
+                # Update phase on the FPGA.
+                with telemetry.trace_span("handler.kernel"):
+                    kernel.run(params, grads, state, step_num)
 
-            # Urgent write-back: parameters first, synchronously.
-            self.device.p2p_write_from(self.URGENT, subgroup.start,
-                                       self.buffers[self.URGENT],
-                                       subgroup.count)
-            self.stats.urgent_writebacks += 1
-            if on_params_written is not None:
-                on_params_written(subgroup)
+                # Urgent write-back: parameters first, synchronously.
+                timed = telemetry.enabled()
+                begin = time.perf_counter() if timed else 0.0
+                self.device.p2p_write_from(self.URGENT, subgroup.start,
+                                           self.buffers[self.URGENT],
+                                           subgroup.count)
+                self.stats.urgent_writebacks += 1
+                if timed:
+                    telemetry.histogram(
+                        "handler_urgent_writeback_latency_us",
+                        (time.perf_counter() - begin) * 1e6,
+                        device=self.device.device_id)
+                if on_params_written is not None:
+                    on_params_written(subgroup)
 
-            # Lazy write-back: defer momentum/variance to the worker.
-            for name in self.state_names:
-                self._buffer_free[name].clear()
-                self._lazy_queue.put((name, subgroup.start, subgroup.count))
-            self.stats.lazy_queue_peak = max(self.stats.lazy_queue_peak,
-                                             self._lazy_queue.qsize())
-            self.stats.subgroups_processed += 1
-            self.stats.timeline.append(("subgroup", subgroup.index))
+                # Lazy write-back: defer momentum/variance to the worker.
+                for name in self.state_names:
+                    self._buffer_free[name].clear()
+                    self._lazy_queue.put(
+                        (name, subgroup.start, subgroup.count))
+                self.stats.lazy_queue_peak = max(
+                    self.stats.lazy_queue_peak, self._lazy_queue.qsize())
+                if timed:
+                    telemetry.gauge("handler_lazy_queue_depth",
+                                    self._lazy_queue.qsize(),
+                                    device=self.device.device_id)
+                self.stats.subgroups_processed += 1
+                self.stats.timeline.append(("subgroup", subgroup.index))
 
             # Wait for this subgroup's lazy writes before reusing the state
             # buffers in the next loop iteration (enforced by the events).
 
-        self.synchronize()
+        with telemetry.trace_span("handler.synchronize",
+                                  device=self.device.device_id):
+            self.synchronize()
 
     def synchronize(self) -> None:
         """Block until every deferred write-back has reached the SSD."""

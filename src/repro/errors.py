@@ -36,6 +36,10 @@ class PartitionError(ReproError):
     """Parameter flattening/partitioning produced an inconsistent layout."""
 
 
+class TelemetryError(ReproError):
+    """Telemetry misuse (metric kind clash, double-ended span, bad buckets)."""
+
+
 class TrainingError(ReproError):
     """A failure inside the training runtime (engine misuse, divergence)."""
 

@@ -167,3 +167,12 @@ class Fabric:
             device.nand_read.transfer(nbytes, tag=tag),
             self.link_up.transfer(nbytes, tag=tag),
         ])
+
+    def all_channels(self) -> List[Channel]:
+        """Every channel of the machine (for export and attribution)."""
+        channels = [self.link_up, self.link_down, self.cpu, self.bounce]
+        for device in self.devices:
+            channels.extend([device.nand_read, device.nand_write,
+                             device.fpga_updater,
+                             device.fpga_decompressor])
+        return channels

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import HardwareConfigError
 from ..hw.topology import SystemSpec
@@ -101,15 +101,25 @@ def subgroup_count(workload: Workload, system: SystemSpec) -> int:
     return max(MIN_SUBGROUPS_PER_DEVICE, by_dram)
 
 
-def run_scenario(system: SystemSpec, workload: Workload, method: str,
-                 compression_ratio: float = 0.02,
-                 num_blocks: int = DEFAULT_NUM_BLOCKS,
-                 ):
-    """Simulate one iteration; returns ``(breakdown, fabric)``.
+@dataclass(frozen=True)
+class ScenarioTrace:
+    """Everything one simulated iteration leaves behind for export.
 
-    The fabric's channels retain their transfer records, so callers can
-    run bottleneck/timeline analysis (`repro.perf.analysis`) on top.
+    ``fabric`` retains every channel's :class:`TransferRecord` list and
+    ``phase_windows`` the closed (phase, start, end) intervals — together
+    the full sim-time timeline the Chrome-trace exporter renders.
     """
+
+    breakdown: PhaseBreakdown
+    fabric: Fabric
+    phase_windows: List[Tuple[str, float, float]]
+
+
+def trace_scenario(system: SystemSpec, workload: Workload, method: str,
+                   compression_ratio: float = 0.02,
+                   num_blocks: int = DEFAULT_NUM_BLOCKS,
+                   ) -> ScenarioTrace:
+    """Simulate one iteration and keep its full sim-time timeline."""
     if method not in METHODS + EXTENSION_METHODS:
         raise HardwareConfigError(
             f"unknown method {method!r}; choose from "
@@ -126,7 +136,23 @@ def run_scenario(system: SystemSpec, workload: Workload, method: str,
         backward_grad=clock.totals.get("backward_grad", 0.0),
         update=clock.totals.get("update", 0.0),
     )
-    return breakdown, fabric
+    return ScenarioTrace(breakdown=breakdown, fabric=fabric,
+                         phase_windows=list(clock.windows))
+
+
+def run_scenario(system: SystemSpec, workload: Workload, method: str,
+                 compression_ratio: float = 0.02,
+                 num_blocks: int = DEFAULT_NUM_BLOCKS,
+                 ):
+    """Simulate one iteration; returns ``(breakdown, fabric)``.
+
+    The fabric's channels retain their transfer records, so callers can
+    run bottleneck/timeline analysis (`repro.perf.analysis`) on top.
+    """
+    trace = trace_scenario(system, workload, method,
+                           compression_ratio=compression_ratio,
+                           num_blocks=num_blocks)
+    return trace.breakdown, trace.fabric
 
 
 def simulate_iteration(system: SystemSpec, workload: Workload, method: str,

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import TrainingError
 from ..nn.modules import Module
 from ..nn.precision import (LossScaler, clip_gradients, has_overflow)
@@ -245,26 +246,33 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
 
     def _run_step(self, batches: Sequence[Sequence[np.ndarray]]
                   ) -> StepResult:
-        self.meter.begin_iteration()
-        if len(batches) == 1:
-            loss, flat_grads, norm, overflow = self.forward_backward(
-                batches[0])
-        else:
-            loss, flat_grads, norm, overflow = self.forward_backward_many(
-                batches)
+        with telemetry.trace_span("iteration", engine="baseline") as span:
+            self.meter.begin_iteration()
+            with telemetry.trace_span("forward_backward"):
+                if len(batches) == 1:
+                    loss, flat_grads, norm, overflow = \
+                        self.forward_backward(batches[0])
+                else:
+                    loss, flat_grads, norm, overflow = \
+                        self.forward_backward_many(batches)
 
-        # Gradient offload happens during backward, before the overflow
-        # verdict is known (the real engine streams them out eagerly).
-        self.store.write_array("grads", flat_grads)
-        self.meter.add_host_write(4 * flat_grads.size)
+            # Gradient offload happens during backward, before the overflow
+            # verdict is known (the real engine streams them out eagerly).
+            with telemetry.trace_span("grad_offload"):
+                self.store.write_array("grads", flat_grads)
+                self.meter.add_host_write(4 * flat_grads.size)
 
-        proceed = self.scaler.update(overflow)
-        if proceed:
-            self.step_count += 1
-            self._apply_lr_schedule()
-            self._cpu_update()
-        traffic = self.meter.end_iteration()
-        self.loss_history.append(loss)
+            proceed = self.scaler.update(overflow)
+            if proceed:
+                self.step_count += 1
+                self._apply_lr_schedule()
+                with telemetry.trace_span("update"):
+                    self._cpu_update()
+            traffic = self.meter.end_iteration()
+            self.loss_history.append(loss)
+            span.set(step=self.step_count, loss=loss, overflow=overflow,
+                     host_reads=traffic.host_reads,
+                     host_writes=traffic.host_writes)
         return StepResult(step=self.step_count, loss=loss, grad_norm=norm,
                           overflow=overflow, traffic=traffic)
 
@@ -275,25 +283,28 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
         size = self.config.subgroup_elements
         for start in range(0, total, size):
             count = min(size, total - start)
-            grads = self.store.read_slice("grads", start, count)
-            masters = self.store.read_slice("master_params", start, count)
-            state = {
-                name: self.store.read_slice(name, start, count)
-                for name in self._state_names
-            }
-            self.meter.add_host_read(
-                4 * count * (2 + len(self._state_names)))
+            with telemetry.trace_span("cpu_update.block", start=start,
+                                      elements=count):
+                grads = self.store.read_slice("grads", start, count)
+                masters = self.store.read_slice("master_params", start,
+                                                count)
+                state = {
+                    name: self.store.read_slice(name, start, count)
+                    for name in self._state_names
+                }
+                self.meter.add_host_read(
+                    4 * count * (2 + len(self._state_names)))
 
-            self.optimizer.step(masters, grads, state, step)
+                self.optimizer.step(masters, grads, state, step)
 
-            self.store.write_slice("master_params", start, masters)
-            for name in self._state_names:
-                self.store.write_slice(name, start, state[name])
-            self.meter.add_host_write(
-                4 * count * (1 + len(self._state_names)))
+                self.store.write_slice("master_params", start, masters)
+                for name in self._state_names:
+                    self.store.write_slice(name, start, state[name])
+                self.meter.add_host_write(
+                    4 * count * (1 + len(self._state_names)))
 
-            # Refresh the FP16 working copy from the updated masters.
-            self.space.install_fp16_slice(start, masters)
+                # Refresh the FP16 working copy from the updated masters.
+                self.space.install_fp16_slice(start, masters)
 
     def close(self) -> None:
         self.volume.close()

@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import TrainingError
 from ..nn.modules import Module
 from .engine import (LossFn, MixedPrecisionTrainer, StepResult,
@@ -62,20 +63,24 @@ class HostOffloadEngine(MixedPrecisionTrainer):
         return self._run_step([tuple(batch) for batch in batches])
 
     def _run_step(self, batches) -> StepResult:
-        self.meter.begin_iteration()
-        if len(batches) == 1:
-            loss, flat_grads, norm, overflow = self.forward_backward(
-                batches[0])
-        else:
-            loss, flat_grads, norm, overflow = self.forward_backward_many(
-                batches)
-        proceed = self.scaler.update(overflow)
-        if proceed:
-            self.step_count += 1
-            self._apply_lr_schedule()
-            self._cpu_update(flat_grads)
-        traffic = self.meter.end_iteration()
-        self.loss_history.append(loss)
+        with telemetry.trace_span("iteration", engine="host") as span:
+            self.meter.begin_iteration()
+            with telemetry.trace_span("forward_backward"):
+                if len(batches) == 1:
+                    loss, flat_grads, norm, overflow = \
+                        self.forward_backward(batches[0])
+                else:
+                    loss, flat_grads, norm, overflow = \
+                        self.forward_backward_many(batches)
+            proceed = self.scaler.update(overflow)
+            if proceed:
+                self.step_count += 1
+                self._apply_lr_schedule()
+                with telemetry.trace_span("update"):
+                    self._cpu_update(flat_grads)
+            traffic = self.meter.end_iteration()
+            self.loss_history.append(loss)
+            span.set(step=self.step_count, loss=loss, overflow=overflow)
         return StepResult(step=self.step_count, loss=loss, grad_norm=norm,
                           overflow=overflow, traffic=traffic)
 

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..compression.error_feedback import ErrorFeedback, compress_with_feedback
 from ..compression.topk import CompressedGradient, keep_count
 from ..csd.device import SmartSSDDevice
@@ -163,33 +164,45 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         return self._run_step([tuple(batch) for batch in batches])
 
     def _run_step(self, batches) -> StepResult:
-        self.meter.begin_iteration()
-        snapshots = [
-            (dev.internal_traffic.bytes_read,
-             dev.internal_traffic.bytes_written) for dev in self.devices]
-        if len(batches) == 1:
-            loss, flat_grads, norm, overflow = self.forward_backward(
-                batches[0])
-        else:
-            loss, flat_grads, norm, overflow = self.forward_backward_many(
-                batches)
+        with telemetry.trace_span("iteration", engine="smart",
+                                  num_csds=self.num_csds) as span:
+            self.meter.begin_iteration()
+            snapshots = [
+                (dev.internal_traffic.bytes_read,
+                 dev.internal_traffic.bytes_written)
+                for dev in self.devices]
+            with telemetry.trace_span("forward_backward"):
+                if len(batches) == 1:
+                    loss, flat_grads, norm, overflow = \
+                        self.forward_backward(batches[0])
+                else:
+                    loss, flat_grads, norm, overflow = \
+                        self.forward_backward_many(batches)
 
-        compressed_per_device = self._offload_gradients(flat_grads)
+            with telemetry.trace_span("grad_offload"):
+                compressed_per_device = self._offload_gradients(flat_grads)
 
-        proceed = self.scaler.update(overflow)
-        if proceed:
-            self.step_count += 1
-            self._apply_lr_schedule()
-            for index in range(self.num_csds):
-                self._update_device(index, compressed_per_device[index])
+            proceed = self.scaler.update(overflow)
+            if proceed:
+                self.step_count += 1
+                self._apply_lr_schedule()
+                with telemetry.trace_span("update"):
+                    for index in range(self.num_csds):
+                        self._update_device(index,
+                                            compressed_per_device[index])
 
-        for device, (reads, writes) in zip(self.devices, snapshots):
-            self.meter.add_internal_read(
-                device.internal_traffic.bytes_read - reads)
-            self.meter.add_internal_write(
-                device.internal_traffic.bytes_written - writes)
-        traffic = self.meter.end_iteration()
-        self.loss_history.append(loss)
+            for device, (reads, writes) in zip(self.devices, snapshots):
+                self.meter.add_internal_read(
+                    device.internal_traffic.bytes_read - reads)
+                self.meter.add_internal_write(
+                    device.internal_traffic.bytes_written - writes)
+            traffic = self.meter.end_iteration()
+            self.loss_history.append(loss)
+            span.set(step=self.step_count, loss=loss, overflow=overflow,
+                     host_reads=traffic.host_reads,
+                     host_writes=traffic.host_writes,
+                     internal_reads=traffic.internal_reads,
+                     internal_writes=traffic.internal_writes)
         return StepResult(step=self.step_count, loss=loss, grad_norm=norm,
                           overflow=overflow, traffic=traffic)
 
@@ -228,15 +241,19 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         load_grads = self._make_grad_loader(index, compressed)
 
         def on_params_written(subgroup: Subgroup) -> None:
-            self._upstream_subgroup(index, subgroup)
+            with telemetry.trace_span("upstream_subgroup", device=index,
+                                      subgroup=subgroup.index):
+                self._upstream_subgroup(index, subgroup)
 
-        if handler is not None:
-            handler.run_update_pass(subgroups, kernel, self.step_count,
-                                    load_grads, on_params_written)
-        else:
-            naive_update_pass(device, subgroups, kernel, self.step_count,
-                              self._state_names, load_grads,
-                              on_params_written)
+        with telemetry.trace_span("device_update", device=index,
+                                  subgroups=len(subgroups)):
+            if handler is not None:
+                handler.run_update_pass(subgroups, kernel, self.step_count,
+                                        load_grads, on_params_written)
+            else:
+                naive_update_pass(device, subgroups, kernel,
+                                  self.step_count, self._state_names,
+                                  load_grads, on_params_written)
 
     def _upstream_subgroup(self, index: int, subgroup: Subgroup) -> None:
         """Upstream one subgroup's updated parameters to the host.

@@ -18,7 +18,7 @@ the tests check those meters against these closed forms exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..errors import TrainingError
 
@@ -75,7 +75,8 @@ class TrafficMeter:
 def expected_traffic(num_params: int, method: str,
                      states_per_param: int = 3,
                      compression_ratio: float = 0.02,
-                     shard_sizes: List[int] = None) -> Dict[str, int]:
+                     shard_sizes: Optional[List[int]] = None
+                     ) -> Dict[str, int]:
     """Closed-form Table I traffic in bytes per iteration.
 
     ``states_per_param`` is 3 for Adam (master, momentum, variance -> 6M in

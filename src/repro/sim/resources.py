@@ -184,6 +184,9 @@ class PhaseClock:
 
     sim: Simulator
     totals: dict = field(default_factory=dict)
+    #: Every closed (phase, start, end) interval, in completion order —
+    #: the phase windows the Chrome-trace exporter renders as a lane.
+    windows: List[Tuple[str, float, float]] = field(default_factory=list)
     _open: dict = field(default_factory=dict)
 
     def begin(self, phase: str) -> None:
@@ -195,6 +198,7 @@ class PhaseClock:
         if phase not in self._open:
             raise SimulationError(f"phase {phase!r} was not begun")
         start = self._open.pop(phase)
+        self.windows.append((phase, start, self.sim.now))
         self.totals[phase] = self.totals.get(phase, 0.0) + (
             self.sim.now - start)
 

@@ -87,6 +87,8 @@ def render_timeline(channels: Sequence[Channel], horizon: float,
     """
     if horizon <= 0:
         raise ValueError("horizon must be positive")
+    if width <= 0:
+        raise ValueError("width must be positive")
     bucket = horizon / width
     label_width = max((len(c.name) for c in channels), default=0)
     lines = [f"timeline over {horizon:.3f}s "

@@ -10,9 +10,11 @@ verify the Table I byte accounting against actual I/O performed.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import telemetry
 from ..errors import StorageError
 
 
@@ -72,23 +74,39 @@ class FileBlockDevice:
     def pread(self, offset: int, length: int) -> bytes:
         """Read ``length`` bytes at ``offset``."""
         self._check_range(offset, length)
+        timed = telemetry.enabled()
+        begin = time.perf_counter() if timed else 0.0
         data = os.pread(self._fd, length, offset)
         if len(data) < length:
             # Sparse tail: fill with zeros up to the requested length.
             data = data + b"\x00" * (length - len(data))
         self.counters.bytes_read += length
         self.counters.read_ops += 1
+        if timed:
+            telemetry.histogram(
+                "storage_pread_latency_us",
+                (time.perf_counter() - begin) * 1e6, device=self.name)
+            telemetry.counter("storage_read_bytes_total", length,
+                              device=self.name)
         return data
 
     def pwrite(self, offset: int, data: bytes) -> int:
         """Write ``data`` at ``offset``; returns bytes written."""
         self._check_range(offset, len(data))
+        timed = telemetry.enabled()
+        begin = time.perf_counter() if timed else 0.0
         written = os.pwrite(self._fd, data, offset)
         if written != len(data):
             raise StorageError(
                 f"short write on {self.name}: {written}/{len(data)}")
         self.counters.bytes_written += written
         self.counters.write_ops += 1
+        if timed:
+            telemetry.histogram(
+                "storage_pwrite_latency_us",
+                (time.perf_counter() - begin) * 1e6, device=self.name)
+            telemetry.counter("storage_write_bytes_total", written,
+                              device=self.name)
         return written
 
     def flush(self) -> None:

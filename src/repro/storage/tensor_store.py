@@ -13,6 +13,7 @@ from typing import Dict, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import StorageError
 from .blockdev import FileBlockDevice
 from .raid0 import RAID0Volume
@@ -102,6 +103,10 @@ class TensorStore:
                 f"{name!r} of {region.num_elements} elements")
         byte_offset = region.offset + start * region.dtype.itemsize
         self.device.pwrite(byte_offset, array.tobytes())
+        if telemetry.enabled():
+            telemetry.counter("tensor_store_write_bytes_total",
+                              array.size * region.dtype.itemsize,
+                              region=name)
 
     def read_slice(self, name: str, start: int, count: int) -> np.ndarray:
         """Read ``count`` elements starting at element ``start``."""
@@ -111,4 +116,7 @@ class TensorStore:
                 f"slice [{start}, {start + count}) outside region {name!r}")
         byte_offset = region.offset + start * region.dtype.itemsize
         raw = self.device.pread(byte_offset, count * region.dtype.itemsize)
+        if telemetry.enabled():
+            telemetry.counter("tensor_store_read_bytes_total",
+                              count * region.dtype.itemsize, region=name)
         return np.frombuffer(raw, dtype=region.dtype).copy()

@@ -1,0 +1,196 @@
+"""Wall-clock span tracing.
+
+A *span* is one named, nested interval of wall-clock time on one thread —
+the unit every timeline viewer (Perfetto, chrome://tracing) understands.
+The tracer records spans two ways:
+
+* :meth:`SpanTracer.span` — a context manager for structured code
+  (``with tracer.span("update", device=3):``);
+* :meth:`SpanTracer.begin` / :meth:`SpanTracer.end` — explicit tokens for
+  code whose begin and end sites are different functions, such as the
+  transfer handler's lazy write-back worker.
+
+Each finished span keeps the thread id and name it ran on, a nesting
+depth (per thread), and free-form attributes, so the Chrome-trace
+exporter can reconstruct per-thread lanes with correct nesting.  All
+methods are thread-safe; spans from concurrent worker threads interleave
+into one list ordered by completion.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import TelemetryError
+
+
+@dataclass
+class Span:
+    """One finished wall-clock interval."""
+
+    name: str
+    start: float
+    end: float
+    thread_id: int
+    thread_name: str
+    depth: int
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SpanToken:
+    """An open span returned by :meth:`SpanTracer.begin`.
+
+    Callers may attach attributes while the span is open via :meth:`set`;
+    they are merged into the finished :class:`Span`.
+    """
+
+    name: str
+    start: float
+    thread_id: int
+    thread_name: str
+    depth: int
+    attrs: Dict[str, object] = field(default_factory=dict)
+    closed: bool = False
+
+    def set(self, **attrs: object) -> "SpanToken":
+        self.attrs.update(attrs)
+        return self
+
+
+class _NullSpan:
+    """Do-nothing stand-in yielded when tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **_attrs: object) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+
+#: Shared no-op span/context — the entire cost of a disabled trace point.
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager pairing one begin/end on a tracer."""
+
+    __slots__ = ("_tracer", "_token")
+
+    def __init__(self, tracer: "SpanTracer", token: SpanToken) -> None:
+        self._tracer = tracer
+        self._token = token
+
+    def __enter__(self) -> SpanToken:
+        return self._token
+
+    def __exit__(self, *_exc) -> bool:
+        self._tracer.end(self._token)
+        return False
+
+
+class SpanTracer:
+    """Thread-safe recorder of nested wall-clock spans.
+
+    ``clock`` is injectable for deterministic tests; it must be a
+    monotonic float-seconds callable (default :func:`time.perf_counter`).
+    Timestamps are stored relative to the tracer's creation instant so
+    exported traces start near t=0.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.spans: List[Span] = []
+
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    def _stack(self) -> List[SpanToken]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # ------------------------------------------------------------------
+    # explicit begin/end (for split call sites, e.g. worker loops)
+    # ------------------------------------------------------------------
+    def begin(self, name: str, **attrs: object) -> SpanToken:
+        """Open a span on the calling thread and return its token."""
+        thread = threading.current_thread()
+        stack = self._stack()
+        token = SpanToken(name=name, start=self._now(),
+                          thread_id=thread.ident or 0,
+                          thread_name=thread.name, depth=len(stack),
+                          attrs=dict(attrs))
+        stack.append(token)
+        return token
+
+    def end(self, token: SpanToken, **attrs: object) -> Span:
+        """Close ``token`` (on the thread that opened it) and record it."""
+        if token.closed:
+            raise TelemetryError(f"span {token.name!r} already ended")
+        token.closed = True
+        stack = self._stack()
+        if token in stack:
+            # Pop through the token: abandoned inner tokens (e.g. after an
+            # exception skipped their end()) must not corrupt the depth of
+            # later spans.
+            while stack and stack.pop() is not token:
+                pass
+        token.attrs.update(attrs)
+        span = Span(name=token.name, start=token.start, end=self._now(),
+                    thread_id=token.thread_id,
+                    thread_name=token.thread_name, depth=token.depth,
+                    attrs=token.attrs)
+        with self._lock:
+            self.spans.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # structured form
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: object) -> _SpanContext:
+        """``with tracer.span("name", k=v) as s: ... s.set(result=...)``"""
+        return _SpanContext(self, self.begin(name, **attrs))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def by_name(self, name: str) -> List[Span]:
+        with self._lock:
+            return [span for span in self.spans if span.name == name]
+
+    def total_time(self, name: str) -> float:
+        """Summed duration of every finished span called ``name``."""
+        return sum(span.duration for span in self.by_name(name))
+
+    def open_depth(self) -> int:
+        """Open spans on the *calling* thread (diagnostic)."""
+        return len(self._stack())
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+
+    def thread_names(self) -> Dict[int, str]:
+        """Thread-id -> name for every thread that recorded a span."""
+        names: Dict[int, str] = {}
+        with self._lock:
+            for span in self.spans:
+                names.setdefault(span.thread_id, span.thread_name)
+        return names

@@ -67,3 +67,45 @@ def test_analyze_timeline_renders_gantt(capsys):
     assert "timeline over" in out
     assert "ssd0-read" in out
     assert "#" in out
+
+
+def test_docstring_lists_every_subcommand():
+    import repro.cli
+    from repro.cli import _build_parser
+
+    subparsers = next(
+        action for action in _build_parser()._actions
+        if getattr(action, "choices", None)
+        and "simulate" in action.choices)
+    for command in subparsers.choices:
+        assert command in repro.cli.__doc__, (
+            f"cli docstring does not mention subcommand {command!r}")
+
+
+def test_trace_writes_chrome_trace_json(tmp_path, capsys):
+    out = str(tmp_path / "t.trace.json")
+    assert main(["trace", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--skip-functional", "--out", out]) == 0
+    printed = capsys.readouterr().out
+    assert "perfetto" in printed
+    import json
+    with open(out) as handle:
+        document = json.load(handle)
+    assert document["otherData"]["model"] == "gpt2-1.16b"
+    assert any(event["ph"] == "X"
+               for event in document["traceEvents"])
+
+
+def test_trace_default_output_name(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["trace", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--method", "su", "--skip-functional"]) == 0
+    assert (tmp_path / "gpt2-1.16b-su.trace.json").exists()
+
+
+def test_simulate_metrics_prints_exposition(capsys):
+    assert main(["simulate", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE des_channel_bytes_total counter" in out
+    assert "des_channel_utilization" in out

@@ -78,6 +78,31 @@ def test_render_timeline_rejects_bad_horizon():
         render_timeline([fast], horizon=0.0)
 
 
+def test_render_timeline_rejects_nonpositive_width():
+    _sim, fast, _slow = make_activity()
+    with pytest.raises(ValueError, match="width"):
+        render_timeline([fast], horizon=15.0, width=0)
+    with pytest.raises(ValueError, match="width"):
+        render_timeline([fast], horizon=15.0, width=-3)
+
+
+def test_busy_in_window_empty_records():
+    assert busy_in_window([], 0.0, 10.0) == 0.0
+
+
+def test_busy_in_window_inverted_window():
+    _sim, _fast, slow = make_activity()
+    assert busy_in_window(slow.records, 12.0, 5.0) == 0.0
+
+
+def test_busy_in_window_clips_at_both_edges():
+    _sim, fast, _slow = make_activity()
+    # fast busy over [0, 1]; window [0.25, 0.75] is interior.
+    assert busy_in_window(fast.records, 0.25, 0.75) == pytest.approx(0.5)
+    # Window straddles the end of the transfer.
+    assert busy_in_window(fast.records, 0.5, 2.0) == pytest.approx(0.5)
+
+
 def test_phase_channel_matrix():
     _sim, fast, slow = make_activity()
     matrix = phase_channel_matrix(
@@ -86,3 +111,21 @@ def test_phase_channel_matrix():
     assert matrix["early"]["slow"] == pytest.approx(1.0)
     assert matrix["late"]["fast"] == 0.0
     assert matrix["late"]["slow"] == pytest.approx(5.0)
+
+
+def test_phase_channel_matrix_degenerate_phases():
+    _sim, fast, slow = make_activity()
+    matrix = phase_channel_matrix(
+        [fast, slow],
+        {"empty": (3.0, 3.0), "inverted": (9.0, 2.0),
+         "partial": (0.5, 2.0)})
+    assert matrix["empty"] == {"fast": 0.0, "slow": 0.0}
+    assert matrix["inverted"] == {"fast": 0.0, "slow": 0.0}
+    assert matrix["partial"]["fast"] == pytest.approx(0.5)
+    assert matrix["partial"]["slow"] == pytest.approx(1.5)
+
+
+def test_phase_channel_matrix_no_channels_or_phases():
+    _sim, fast, _slow = make_activity()
+    assert phase_channel_matrix([], {"p": (0.0, 1.0)}) == {"p": {}}
+    assert phase_channel_matrix([fast], {}) == {}

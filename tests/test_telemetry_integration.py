@@ -1,0 +1,235 @@
+"""Telemetry integration: non-perturbation, engine metrics, CLI trace.
+
+The acceptance invariants of the telemetry layer:
+
+* enabling telemetry never changes what the engines compute — training
+  outputs are bit-identical with tracing on vs. off (property-tested);
+* one functional training step populates the handler queue-depth gauge
+  and the storage latency histograms;
+* ``python -m repro trace`` writes a valid Chrome trace-event JSON with
+  correctly nested wall-clock spans and both time domains present.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.cli import main
+from repro.nn import SequenceClassifier, bert_config
+from repro.runtime import SmartInfinityEngine, TrainingConfig
+from repro.telemetry.export import SIM_PID, WALL_PID
+
+
+def loss_fn(model, tokens, labels):
+    return model.loss(tokens, labels)
+
+
+def make_model(seed=0, dim=32):
+    return SequenceClassifier(
+        bert_config(vocab_size=16, dim=dim, num_layers=1, num_heads=2,
+                    max_seq_len=8),
+        num_classes=2, seed=seed)
+
+
+def train_once(workdir, config, tokens, labels, enable_telemetry):
+    engine = SmartInfinityEngine(make_model(), loss_fn, str(workdir),
+                                 num_csds=2, config=config)
+    try:
+        if enable_telemetry:
+            with telemetry.session() as session:
+                result = engine.train_step(tokens, labels)
+        else:
+            session = None
+            result = engine.train_step(tokens, labels)
+        return result, engine.space.gather_params(), session
+    finally:
+        engine.close()
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(optimizer=st.sampled_from(["adam", "sgd"]),
+       subgroup=st.sampled_from([512, 4096]),
+       seed=st.integers(0, 50))
+def test_engine_output_bit_identical_with_telemetry(tmp_path_factory,
+                                                    optimizer, subgroup,
+                                                    seed):
+    rng = np.random.default_rng(seed)
+    tokens = rng.integers(0, 16, size=(4, 8))
+    labels = rng.integers(0, 2, size=4)
+    config = TrainingConfig(optimizer=optimizer,
+                            optimizer_kwargs={"lr": 1e-2},
+                            subgroup_elements=subgroup)
+    workdir = tmp_path_factory.mktemp("tel")
+
+    result_off, params_off, _ = train_once(
+        workdir / "off", config, tokens, labels, enable_telemetry=False)
+    result_on, params_on, session = train_once(
+        workdir / "on", config, tokens, labels, enable_telemetry=True)
+
+    np.testing.assert_array_equal(params_off, params_on)
+    assert result_off.loss == result_on.loss
+    assert result_off.traffic.host_total == result_on.traffic.host_total
+    # And telemetry actually observed the traced run.
+    assert session.tracer.by_name("iteration")
+    assert not telemetry.enabled()
+
+
+def test_functional_engine_populates_metrics(tmp_path):
+    rng = np.random.default_rng(0)
+    tokens = rng.integers(0, 16, size=(4, 8))
+    labels = rng.integers(0, 2, size=4)
+    config = TrainingConfig(optimizer="adam",
+                            optimizer_kwargs={"lr": 1e-2},
+                            subgroup_elements=1024)
+    with telemetry.session() as session:
+        with SmartInfinityEngine(make_model(), loss_fn,
+                                 str(tmp_path / "csd"), num_csds=2,
+                                 config=config) as engine:
+            engine.train_step(tokens, labels)
+    snapshot = session.registry.snapshot()
+
+    # Handler queue depth gauge, per device.
+    depth_keys = [key for key in snapshot
+                  if key.startswith("handler_lazy_queue_depth")]
+    assert depth_keys, snapshot.keys()
+    assert any(snapshot[key]["peak"] >= 1 for key in depth_keys)
+
+    # Storage latency histograms saw real pread/pwrite calls.
+    for metric in ("storage_pread_latency_us",
+                   "storage_pwrite_latency_us"):
+        keys = [key for key in snapshot if key.startswith(metric)]
+        assert keys, f"no {metric} series recorded"
+        assert sum(snapshot[key]["count"] for key in keys) > 0
+
+    # Handler write-back latency histograms from both paths (urgent on
+    # the caller thread, lazy on the worker thread).
+    assert any(key.startswith("handler_urgent_writeback_latency_us")
+               for key in snapshot)
+    assert any(key.startswith("handler_lazy_writeback_latency_us")
+               for key in snapshot)
+
+    # Spans from the worker thread carry a different thread id than the
+    # engine's iteration span.
+    iteration = session.tracer.by_name("iteration")[0]
+    lazy = session.tracer.by_name("handler.lazy_writeback")
+    assert lazy
+    assert any(span.thread_id != iteration.thread_id for span in lazy)
+
+
+def _events_by_pid(events, pid):
+    return [event for event in events
+            if event["ph"] == "X" and event["pid"] == pid]
+
+
+def _assert_wall_spans_nest(events):
+    """Depth-d+1 spans must lie inside a depth-d span on the same lane."""
+    walls = _events_by_pid(events, WALL_PID)
+    assert walls
+    checked = 0
+    for event in walls:
+        depth = event["args"].get("depth", 0)
+        if depth == 0:
+            continue
+        parents = [
+            parent for parent in walls
+            if parent["tid"] == event["tid"]
+            and parent["args"].get("depth") == depth - 1
+            and parent["ts"] <= event["ts"] + 1e-6
+            and event["ts"] + event["dur"]
+            <= parent["ts"] + parent["dur"] + 1e-6
+        ]
+        assert parents, f"span {event['name']} has no enclosing parent"
+        checked += 1
+    assert checked > 0, "trace contains no nested wall-clock spans"
+
+
+def test_cli_trace_emits_valid_two_domain_chrome_trace(tmp_path, capsys):
+    out = str(tmp_path / "acceptance.trace.json")
+    assert main(["trace", "--model", "gpt2-4.0b", "--csds", "6",
+                 "--method", "su_o_c", "--out", out]) == 0
+    assert "wrote" in capsys.readouterr().out
+    with open(out) as handle:
+        document = json.load(handle)
+    events = document["traceEvents"]
+
+    # Both time domains present, named.
+    assert {e["pid"] for e in events if e["ph"] == "X"} == {WALL_PID,
+                                                           SIM_PID}
+    process_names = {e["args"]["name"] for e in events
+                     if e.get("name") == "process_name"}
+    assert process_names == {"wall-clock", "sim-time"}
+
+    # Wall-clock spans nest correctly.
+    _assert_wall_spans_nest(events)
+
+    # The sim-time side has the DES phase lane and per-channel transfers.
+    sim_events = _events_by_pid(events, SIM_PID)
+    phase_names = {e["name"] for e in sim_events
+                   if e.get("cat") == "sim-phase"}
+    assert phase_names == {"forward", "backward_grad", "update"}
+    channels = {e["args"]["channel"] for e in sim_events
+                if "channel" in e["args"]}
+    assert "host-link-up" in channels
+    assert any(name.startswith("ssd") for name in channels)
+
+    # The wall-clock side contains the functional proxy's engine and
+    # handler spans, including worker-thread lazy write-backs.
+    wall_names = {e["name"] for e in _events_by_pid(events, WALL_PID)}
+    assert {"functional.proxy", "iteration", "handler.subgroup",
+            "handler.lazy_writeback"} <= wall_names
+
+
+def test_cli_trace_skip_functional_is_sim_only(tmp_path):
+    out = str(tmp_path / "sim-only.trace.json")
+    assert main(["trace", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--skip-functional", "--out", out]) == 0
+    with open(out) as handle:
+        events = json.load(handle)["traceEvents"]
+    wall = _events_by_pid(events, WALL_PID)
+    # Only the des.simulate bracketing span lives on the wall side.
+    assert {e["name"] for e in wall} == {"des.simulate"}
+    assert _events_by_pid(events, SIM_PID)
+
+
+def test_cli_trace_metrics_flag_prints_exposition(tmp_path, capsys):
+    out = str(tmp_path / "m.trace.json")
+    assert main(["trace", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--metrics", "--out", out]) == 0
+    printed = capsys.readouterr().out
+    assert "# TYPE des_channel_bytes_total counter" in printed
+    assert "storage_pread_latency_us" in printed
+
+
+def test_cli_simulate_and_analyze_metrics_flags(capsys):
+    assert main(["simulate", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert 'des_channel_utilization{channel="host-link-up"' in out
+    assert main(["analyze", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert 'method="baseline"' in out
+    assert 'method="su_o_c"' in out
+
+
+def test_export_scenario_trace_helper(tmp_path):
+    from repro.experiments.export import export_scenario_trace
+    from repro.hw.topology import default_system
+    from repro.nn.models import get_model
+    from repro.perf.workload import make_workload
+
+    path = str(tmp_path / "scenario.trace.json")
+    result = export_scenario_trace(
+        path, default_system(num_csds=2), make_workload(
+            get_model("gpt2-1.16b")), "su_o")
+    assert result == path
+    with open(path) as handle:
+        document = json.load(handle)
+    assert document["otherData"]["method"] == "su_o"
+    assert document["otherData"]["iteration_seconds"] > 0
+    assert _events_by_pid(document["traceEvents"], SIM_PID)
