@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands:
+Seven subcommands:
 
 * ``list-models`` — print the analytic model zoo (names, sizes, shapes).
 * ``simulate`` — run one DES training-iteration configuration and print
@@ -13,6 +13,9 @@ Six subcommands:
 * ``trace`` — export a Chrome trace-event JSON (open in Perfetto)
   unifying the sim-time DES timeline with wall-clock telemetry spans
   from a functional-engine proxy run.
+* ``bench`` — measure real wall-clock steps/s through the functional
+  Smart-Infinity engine, sequential vs thread-pooled multi-CSD, and
+  write ``BENCH_parallel.json``.
 
 Examples::
 
@@ -22,6 +25,7 @@ Examples::
     python -m repro sweep devices --model gpt2-4.0b
     python -m repro experiment fig9
     python -m repro trace --model gpt2-4.0b --csds 6 --method su_o_c
+    python -m repro bench --quick --out BENCH_parallel.json
 
 ``simulate`` and ``analyze`` accept ``--metrics`` to print a
 Prometheus-style exposition of per-channel counters and gauges.
@@ -105,6 +109,10 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--metrics", action="store_true",
                        help="also print the Prometheus-style metrics "
                             "collected during the trace")
+    trace.add_argument("--workers", type=int, default=None,
+                       help="worker threads for the functional proxy's "
+                            "per-CSD fan-out (default: one per proxy "
+                            "device, so the trace shows the overlap)")
 
     sweep = commands.add_parser(
         "sweep", help="sweep one axis and tabulate speedups")
@@ -120,6 +128,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "id",
         choices=sorted(ALL_EXPERIMENTS) + sorted(EXTENSION_EXPERIMENTS),
         help="experiment id (e.g. fig9, table1, ext_bottlenecks)")
+
+    bench = commands.add_parser(
+        "bench", help="wall-clock steps/s: sequential vs thread-pooled "
+                      "multi-CSD execution")
+    bench.add_argument("--quick", action="store_true",
+                       help="tiny workload (CI smoke): structure over "
+                            "statistical weight")
+    bench.add_argument("--csds", default="1,2,4",
+                       help="comma-separated CSD counts (default 1,2,4)")
+    bench.add_argument("--steps", type=int, default=None,
+                       help="timed steps per configuration (default: "
+                            "workload preset)")
+    bench.add_argument("--out", default="BENCH_parallel.json",
+                       help="JSON report path (default "
+                            "BENCH_parallel.json)")
     return parser
 
 
@@ -189,14 +212,17 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
-def _run_functional_proxy(num_csds: int, method: str,
-                          ratio: float) -> None:
+def _run_functional_proxy(num_csds: int, method: str, ratio: float,
+                          workers: Optional[int] = None) -> None:
     """Train one step of a tiny model through the functional engine.
 
     The proxy exists so the exported trace's wall-clock process contains
     real engine / handler / storage spans (worker threads included); the
     model is deliberately tiny because the span *structure*, not the
-    duration, is what the timeline view is for.
+    duration, is what the timeline view is for.  Per-CSD work defaults
+    to one worker per proxy device — regardless of the host's core
+    count — so the exported timeline shows the device updates on
+    distinct ``csd-worker`` thread lanes.
     """
     import numpy as np
 
@@ -209,15 +235,17 @@ def _run_functional_proxy(num_csds: int, method: str,
     model = SequenceClassifier(
         bert_config(vocab_size=32, dim=32, num_layers=2, num_heads=2,
                     max_seq_len=16), num_classes=2, seed=0)
+    proxy_csds = min(num_csds, 2)
     config = TrainingConfig(
         optimizer="adam", optimizer_kwargs={"lr": 1e-3},
         subgroup_elements=4096,
         compression_ratio=ratio if method in ("su_o_c", "su_o_c_q")
         else None,
-        use_transfer_handler=method != "su")
+        use_transfer_handler=method != "su",
+        parallel_csds=workers if workers else proxy_csds)
     with tempfile.TemporaryDirectory() as workdir:
         with SmartInfinityEngine(model, lambda m, t, l: m.loss(t, l),
-                                 workdir, num_csds=min(num_csds, 2),
+                                 workdir, num_csds=proxy_csds,
                                  config=config) as engine:
             engine.train_step(tokens, labels)
 
@@ -234,7 +262,8 @@ def _cmd_trace(args) -> int:
         if not args.skip_functional:
             with telemetry.trace_span("functional.proxy",
                                       method=args.method):
-                _run_functional_proxy(args.csds, args.method, args.ratio)
+                _run_functional_proxy(args.csds, args.method, args.ratio,
+                                      workers=args.workers)
         telemetry.record_channel_metrics(
             session.registry, trace.fabric.all_channels(),
             horizon=trace.breakdown.total, method=args.method)
@@ -263,6 +292,25 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .runtime.bench import render_report, run_parallel_bench
+
+    try:
+        csd_counts = tuple(int(part) for part in args.csds.split(",")
+                           if part.strip())
+    except ValueError:
+        print(f"invalid --csds list: {args.csds!r}")
+        return 2
+    if not csd_counts or any(count < 1 for count in csd_counts):
+        print(f"--csds needs positive device counts, got {args.csds!r}")
+        return 2
+    report = run_parallel_bench(quick=args.quick, out_path=args.out,
+                                csd_counts=csd_counts, steps=args.steps)
+    print(render_report(report))
+    print(f"[saved to {args.out}]")
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     if args.axis == "devices":
         rows = sweep_devices(args.model,
@@ -287,6 +335,7 @@ _HANDLERS = {
     "analyze": _cmd_analyze,
     "experiment": _cmd_experiment,
     "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
 
 

@@ -74,8 +74,17 @@ def compress_topk(gradient: np.ndarray,
     Selection uses ``argpartition`` (the GPU does a partial sort); kept
     indices are re-sorted ascending so the FPGA decompressor's scatter
     walks memory sequentially, as the hardware pipeline does.
+
+    The engine hot path hands in contiguous fp32 1-D shard slices, which
+    are used as-is — the input is only ever read, and the kept values are
+    copied out — so no normalisation pass runs per shard per iteration.
     """
-    flat = np.ascontiguousarray(gradient, dtype=np.float32).reshape(-1)
+    if (isinstance(gradient, np.ndarray) and gradient.ndim == 1
+            and gradient.dtype == np.float32
+            and gradient.flags.c_contiguous):
+        flat = gradient
+    else:
+        flat = np.ascontiguousarray(gradient, dtype=np.float32).reshape(-1)
     kept = keep_count(flat.size, volume_ratio)
     if kept >= flat.size:
         indices = np.arange(flat.size, dtype=np.int32)

@@ -13,6 +13,13 @@ host traffic into internal traffic, which aggregates linearly with the
 number of devices.  FPGA DRAM allocations are checked against the device's
 capacity, so over-subscribing accelerator memory (the OOM problem of §IV-B)
 fails here the same way it does on hardware.
+
+Each device owns a private backing file and private traffic ledgers, so
+devices can be driven by different worker threads with no cross-device
+sharing (see :mod:`repro.runtime.parallel`).  Within one device, the
+update worker and the transfer handler's lazy write-back thread overlap;
+the :class:`~repro.storage.blockdev.IOCounters` ledgers are internally
+locked so that overlap never loses a metered byte.
 """
 
 from __future__ import annotations
@@ -94,8 +101,7 @@ class SmartSSDDevice:
                    start: int = 0) -> None:
         """Host -> SSD write (e.g. gradient offload during backward)."""
         self.store.write_slice(region, start, array)
-        self.host_traffic.bytes_written += array.size * array.itemsize
-        self.host_traffic.write_ops += 1
+        self.host_traffic.add_write(array.size * array.itemsize)
 
     def host_read(self, region: str, start: int = 0,
                   count: Optional[int] = None) -> np.ndarray:
@@ -103,8 +109,7 @@ class SmartSSDDevice:
         if count is None:
             count = self.store.region(region).num_elements - start
         array = self.store.read_slice(region, start, count)
-        self.host_traffic.bytes_read += array.size * array.itemsize
-        self.host_traffic.read_ops += 1
+        self.host_traffic.add_read(array.size * array.itemsize)
         return array
 
     # ------------------------------------------------------------------
@@ -119,8 +124,7 @@ class SmartSSDDevice:
                 f"{buffer.size}")
         data = self.store.read_slice(region, start, count)
         buffer[:count] = data
-        self.internal_traffic.bytes_read += 4 * count
-        self.internal_traffic.read_ops += 1
+        self.internal_traffic.add_read(4 * count)
         return buffer[:count]
 
     def p2p_read(self, region: str, start: int,
@@ -134,24 +138,21 @@ class SmartSSDDevice:
         if count is None:
             count = self.store.region(region).num_elements - start
         array = self.store.read_slice(region, start, count)
-        self.internal_traffic.bytes_read += array.size * array.itemsize
-        self.internal_traffic.read_ops += 1
+        self.internal_traffic.add_read(array.size * array.itemsize)
         return array
 
     def p2p_write_from(self, region: str, start: int,
                        buffer: np.ndarray, count: int) -> None:
         """FPGA DRAM -> SSD write from a buffer slice."""
         self.store.write_slice(region, start, buffer[:count])
-        self.internal_traffic.bytes_written += 4 * count
-        self.internal_traffic.write_ops += 1
+        self.internal_traffic.add_write(4 * count)
 
     def p2p_write(self, region: str, start: int,
                   array: np.ndarray) -> None:
         """FPGA DRAM -> SSD write of an arbitrary-dtype array (e.g. the
         quantized int8 masters of the §VIII-B extension)."""
         self.store.write_slice(region, start, array)
-        self.internal_traffic.bytes_written += array.size * array.itemsize
-        self.internal_traffic.write_ops += 1
+        self.internal_traffic.add_write(array.size * array.itemsize)
 
     # ------------------------------------------------------------------
     # kernels

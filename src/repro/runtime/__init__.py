@@ -4,6 +4,7 @@ from .checkpoint import load_checkpoint, save_checkpoint
 from .engine import (BaselineOffloadEngine, LossFn, MixedPrecisionTrainer,
                      StepResult, TrainingConfig)
 from .host_offload import HostOffloadEngine
+from .parallel import CSDWorkerPool, resolve_workers
 from .partition import (FlatParameterSpace, ParamSlot, Shard,
                         distribute_shards)
 from .smart import SmartInfinityEngine
@@ -11,6 +12,7 @@ from .stats import IterationTraffic, TrafficMeter, expected_traffic
 
 __all__ = [
     "BaselineOffloadEngine",
+    "CSDWorkerPool",
     "HostOffloadEngine",
     "load_checkpoint",
     "save_checkpoint",
@@ -26,4 +28,5 @@ __all__ = [
     "TrainingConfig",
     "distribute_shards",
     "expected_traffic",
+    "resolve_workers",
 ]

@@ -1,0 +1,267 @@
+"""Wall-clock benchmark harness: sequential vs thread-pooled multi-CSD.
+
+The DES (``repro.perf``) predicts Fig. 11's near-linear multi-CSD
+scaling; this harness measures whether the *functional* engines move the
+same direction in real wall-clock time.  It trains the same workload
+through :class:`~repro.runtime.smart.SmartInfinityEngine` at several CSD
+counts, sequential (``workers=1``) vs thread-pooled
+(``workers=num_csds``), and records steps/s, traffic, and a parameter
+checksum (parallel must be bit-identical to sequential — the benchmark
+re-verifies what the property tests assert).
+
+It also quantifies the SmartComp compressed-stream cache: the stream is
+read over the internal path once per device per update pass, where the
+pre-cache engine re-read the whole O(kept) stream for every subgroup.
+
+Results land in ``BENCH_parallel.json`` (see ``python -m repro bench``).
+Interpretation note: thread-pooling CPU-bound numpy work only beats the
+sequential loop when the host has cores to run it on; the report embeds
+``cpu_count``/``usable_cpus`` so a 1-core container's numbers are not
+mistaken for a scaling refutation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..compression.topk import keep_count
+from ..nn import SequenceClassifier, bert_config
+from .engine import TrainingConfig
+from .smart import SmartInfinityEngine
+
+#: Schema marker so downstream tooling can detect format changes.
+SCHEMA = "smart-infinity/bench-parallel/v1"
+
+
+@dataclass(frozen=True)
+class BenchWorkload:
+    """One benchmark configuration (model + step counts)."""
+
+    dim: int
+    num_layers: int
+    vocab_size: int
+    seq_len: int
+    batch: int
+    subgroup_elements: int
+    kernel_chunk_elements: int
+    steps: int
+    warmup_steps: int = 1
+
+    def make_model(self, seed: int = 0) -> SequenceClassifier:
+        return SequenceClassifier(
+            bert_config(vocab_size=self.vocab_size, dim=self.dim,
+                        num_layers=self.num_layers, num_heads=2,
+                        max_seq_len=self.seq_len),
+            num_classes=2, seed=seed)
+
+    def make_batch(self, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        tokens = rng.integers(0, self.vocab_size,
+                              size=(self.batch, self.seq_len))
+        labels = rng.integers(0, 2, size=self.batch)
+        return tokens, labels
+
+
+#: Small enough for a CI smoke step / the tier-1 CLI test.
+QUICK_WORKLOAD = BenchWorkload(
+    dim=32, num_layers=1, vocab_size=64, seq_len=16, batch=2,
+    subgroup_elements=4096, kernel_chunk_elements=4096, steps=2)
+
+#: Update-dominated: a small forward pass driving ~1M parameters of
+#: optimizer work, so the per-CSD fan-out is what the clock sees.
+FULL_WORKLOAD = BenchWorkload(
+    dim=160, num_layers=2, vocab_size=4096, seq_len=32, batch=2,
+    subgroup_elements=1 << 16, kernel_chunk_elements=1 << 14, steps=4)
+
+
+@dataclass
+class BenchRun:
+    """Measured outcome of one (num_csds, workers) configuration."""
+
+    num_csds: int
+    workers: int
+    steps: int
+    wall_seconds: float
+    steps_per_second: float
+    host_read_bytes: int
+    host_write_bytes: int
+    internal_read_bytes: int
+    internal_write_bytes: int
+    param_checksum: str
+
+
+def _loss_fn(model, tokens, labels):
+    return model.loss(tokens, labels)
+
+
+def _checksum(params: np.ndarray) -> str:
+    """Stable digest of the trained parameters (bit-identity witness)."""
+    import hashlib
+    return hashlib.sha256(params.tobytes()).hexdigest()[:16]
+
+
+def _run_one(workload: BenchWorkload, num_csds: int,
+             workers: int) -> BenchRun:
+    config = TrainingConfig(
+        optimizer="adam", optimizer_kwargs={"lr": 1e-3},
+        subgroup_elements=workload.subgroup_elements,
+        kernel_chunk_elements=workload.kernel_chunk_elements,
+        parallel_csds=workers)
+    tokens, labels = workload.make_batch()
+    with tempfile.TemporaryDirectory(prefix="bench-csd") as workdir:
+        with SmartInfinityEngine(workload.make_model(), _loss_fn,
+                                 workdir, num_csds=num_csds,
+                                 config=config) as engine:
+            for _ in range(workload.warmup_steps):
+                engine.train_step(tokens, labels)
+            begin = time.perf_counter()
+            for _ in range(workload.steps):
+                engine.train_step(tokens, labels)
+            wall = time.perf_counter() - begin
+            timed = engine.meter.iterations[-workload.steps:]
+            params = engine.space.gather_params()
+    return BenchRun(
+        num_csds=num_csds, workers=workers, steps=workload.steps,
+        wall_seconds=wall,
+        steps_per_second=workload.steps / wall if wall > 0 else 0.0,
+        host_read_bytes=sum(t.host_reads for t in timed),
+        host_write_bytes=sum(t.host_writes for t in timed),
+        internal_read_bytes=sum(t.internal_reads for t in timed),
+        internal_write_bytes=sum(t.internal_writes for t in timed),
+        param_checksum=_checksum(params))
+
+
+def _measure_smartcomp_cache(workload: BenchWorkload,
+                             num_csds: int = 2,
+                             ratio: float = 0.02) -> Dict[str, object]:
+    """Per-iteration internal reads for SmartComp, vs the pre-cache cost.
+
+    The cached engine reads each device's compressed stream once per
+    update pass; before the cache, every subgroup re-read the full
+    stream, costing ``subgroups x 8 x kept`` bytes instead of
+    ``8 x kept``.  Both figures are reported so the saving is explicit.
+    """
+    config = TrainingConfig(
+        optimizer="adam", optimizer_kwargs={"lr": 1e-3},
+        subgroup_elements=workload.subgroup_elements,
+        kernel_chunk_elements=workload.kernel_chunk_elements,
+        compression_ratio=ratio, parallel_csds=1)
+    tokens, labels = workload.make_batch()
+    with tempfile.TemporaryDirectory(prefix="bench-comp") as workdir:
+        with SmartInfinityEngine(workload.make_model(), _loss_fn,
+                                 workdir, num_csds=num_csds,
+                                 config=config) as engine:
+            engine.train_step(tokens, labels)
+            traffic = engine.meter.iterations[-1]
+            extra_without_cache = 0
+            for shard in engine.shards:
+                kept = keep_count(shard.count, ratio)
+                max_sub = min(config.subgroup_elements, shard.count)
+                subgroups = -(-shard.count // max_sub)
+                extra_without_cache += (subgroups - 1) * 8 * kept
+    measured = traffic.internal_reads
+    legacy = measured + extra_without_cache
+    return {
+        "num_csds": num_csds,
+        "volume_ratio": ratio,
+        "internal_read_bytes_per_iter": measured,
+        "legacy_internal_read_bytes_per_iter": legacy,
+        "saved_bytes_per_iter": extra_without_cache,
+        "reduction_factor": legacy / measured if measured else 1.0,
+    }
+
+
+def run_parallel_bench(quick: bool = False,
+                       out_path: Optional[str] = None,
+                       csd_counts: Sequence[int] = (1, 2, 4),
+                       steps: Optional[int] = None) -> Dict[str, object]:
+    """Run the full benchmark matrix and (optionally) write the report.
+
+    For each CSD count the sequential configuration (``workers=1``) runs
+    first, then — for counts above one — the thread-pooled configuration
+    with one worker per CSD.  Bit-identity between the two is checked
+    here, not just in the test suite, so a published JSON is self-vouching.
+    """
+    workload = QUICK_WORKLOAD if quick else FULL_WORKLOAD
+    if steps is not None:
+        if steps < 1:
+            raise ValueError("steps must be positive")
+        workload = BenchWorkload(**{**asdict(workload), "steps": steps})
+
+    runs: List[BenchRun] = []
+    speedups: Dict[str, Dict[str, float]] = {}
+    for num_csds in csd_counts:
+        sequential = _run_one(workload, num_csds, workers=1)
+        runs.append(sequential)
+        if num_csds == 1:
+            continue
+        parallel = _run_one(workload, num_csds, workers=num_csds)
+        runs.append(parallel)
+        if parallel.param_checksum != sequential.param_checksum:
+            raise AssertionError(
+                f"parallel execution diverged from sequential at "
+                f"{num_csds} CSDs: {parallel.param_checksum} != "
+                f"{sequential.param_checksum}")
+        speedups[str(num_csds)] = {
+            "sequential_steps_per_s": sequential.steps_per_second,
+            "parallel_steps_per_s": parallel.steps_per_second,
+            "speedup": (parallel.steps_per_second
+                        / sequential.steps_per_second
+                        if sequential.steps_per_second else 0.0),
+        }
+
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        usable = os.cpu_count() or 1
+    report: Dict[str, object] = {
+        "schema": SCHEMA,
+        "quick": quick,
+        "environment": {
+            "cpu_count": os.cpu_count() or 1,
+            "usable_cpus": usable,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "workload": asdict(workload),
+        "runs": [asdict(run) for run in runs],
+        "speedups": speedups,
+        "smartcomp_cache": _measure_smartcomp_cache(workload),
+    }
+    if out_path is not None:
+        with open(out_path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+    return report
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of a benchmark report."""
+    lines = []
+    env = report["environment"]
+    lines.append(f"wall-clock parallel bench "
+                 f"({'quick' if report['quick'] else 'full'} workload, "
+                 f"{env['usable_cpus']} usable cpu(s))")
+    lines.append(f"{'csds':>5} {'workers':>8} {'steps/s':>10} "
+                 f"{'wall s':>9}")
+    for run in report["runs"]:
+        lines.append(f"{run['num_csds']:>5} {run['workers']:>8} "
+                     f"{run['steps_per_second']:>10.2f} "
+                     f"{run['wall_seconds']:>9.3f}")
+    for csds, entry in sorted(report["speedups"].items()):
+        lines.append(f"  {csds} CSDs: parallel vs sequential "
+                     f"{entry['speedup']:.2f}x")
+    cache = report["smartcomp_cache"]
+    lines.append(
+        f"  SmartComp stream cache: "
+        f"{cache['internal_read_bytes_per_iter']} B/iter internal reads "
+        f"vs {cache['legacy_internal_read_bytes_per_iter']} B/iter "
+        f"uncached ({cache['reduction_factor']:.2f}x fewer)")
+    return "\n".join(lines)

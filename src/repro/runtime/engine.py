@@ -64,6 +64,11 @@ class TrainingConfig:
     #: Magnitude-pruning sparsity applied to the FP16 working copy
     #: (None disables pruning; masters stay dense).
     pruning_sparsity: Optional[float] = None
+    #: Worker threads fanning per-CSD offload/update work (Fig. 11's
+    #: one-update-per-device concurrency).  None/0 = auto, i.e.
+    #: ``min(num_csds, cpu_count)``; 1 forces the sequential loop;
+    #: parallel execution is bit-identical to sequential (tested).
+    parallel_csds: Optional[int] = None
 
     # ------------------------------------------------------------------
     # DeepSpeed-style config files (§VI: "enabled by simply specifying an

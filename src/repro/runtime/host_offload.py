@@ -30,6 +30,7 @@ from ..errors import TrainingError
 from ..nn.modules import Module
 from .engine import (LossFn, MixedPrecisionTrainer, StepResult,
                      TrainingConfig)
+from .parallel import CSDWorkerPool, resolve_workers
 from .stats import TrafficMeter
 
 
@@ -53,6 +54,12 @@ class HostOffloadEngine(MixedPrecisionTrainer):
         self._masters = self.space.gather_params()
         self._state = self.optimizer.init_state(total)
         self.space.install_fp16_params(self._masters)
+        # Update blocks are the shard analogue here: disjoint flat
+        # slices of host-resident state, so they fan out over the same
+        # worker pool the CSD engine uses.
+        num_blocks = -(-total // config.subgroup_elements)
+        self.workers = resolve_workers(config.parallel_csds, num_blocks)
+        self._pool = CSDWorkerPool(self.workers, name_prefix="host-worker")
 
     def train_step(self, *batch: np.ndarray) -> StepResult:
         """One iteration: fw/bw on the GPU, CPU update in host memory."""
@@ -85,10 +92,18 @@ class HostOffloadEngine(MixedPrecisionTrainer):
                           overflow=overflow, traffic=traffic)
 
     def _cpu_update(self, flat_grads: np.ndarray) -> None:
-        """Block-wise CPU update over the host-resident states."""
+        """Block-wise CPU update over the host-resident states.
+
+        Blocks touch disjoint slices of the masters/state/gradient
+        vectors and install disjoint flat ranges (serialized by the
+        parameter space's writer lock), so they run concurrently on the
+        worker pool — bit-identically to the sequential loop, since the
+        update is element-wise.
+        """
         total = self.space.total_elements
         size = self.config.subgroup_elements
-        for start in range(0, total, size):
+
+        def update_block(start: int) -> None:
             stop = min(start + size, total)
             chunk_state = {name: buf[start:stop]
                            for name, buf in self._state.items()}
@@ -98,10 +113,13 @@ class HostOffloadEngine(MixedPrecisionTrainer):
             self.space.install_fp16_slice(start,
                                           self._masters[start:stop])
 
+        self._pool.map_ordered(update_block, range(0, total, size))
+
     def state_arrays(self) -> Sequence[np.ndarray]:
         """The host-resident optimizer state (for inspection/tests)."""
         return [self._masters] + [self._state[name]
                                   for name in self.optimizer.state_names]
 
     def close(self) -> None:
-        """Nothing to release; present for engine-family symmetry."""
+        """Release the worker pool (no storage to close)."""
+        self._pool.close()

@@ -9,6 +9,7 @@ property this module preserves and the tests assert.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -39,10 +40,19 @@ class FlatParameterSpace:
     The flat order is the module's deterministic ``named_parameters``
     order; offsets are contiguous with no padding, so every element of the
     flat vector maps to exactly one model parameter element.
+
+    Writers are funneled through one lock: concurrent per-CSD update
+    workers install their updated subgroups into *disjoint* flat ranges,
+    but a range can straddle a parameter tensor whose storage both
+    writers touch, and :meth:`scatter_slice` re-binds ``param.data`` —
+    the lock makes each install atomic so no writer can observe (or
+    clobber) a half-installed neighbour.  Reads (`gather_*`) happen only
+    between fan-outs, on the coordinating thread.
     """
 
     def __init__(self, module: Module) -> None:
         self.module = module
+        self._write_lock = threading.Lock()
         self.slots: List[ParamSlot] = []
         offset = 0
         for name, param in module.named_parameters():
@@ -76,10 +86,11 @@ class FlatParameterSpace:
     def scatter_params(self, flat: np.ndarray) -> None:
         """Write a flat vector back into the module's parameters."""
         self._check_flat(flat)
-        for slot, (_name, param) in zip(self.slots,
-                                        self.module.named_parameters()):
-            param.data = flat[slot.offset:slot.end].reshape(
-                slot.shape).astype(np.float32)
+        with self._write_lock:
+            for slot, (_name, param) in zip(self.slots,
+                                            self.module.named_parameters()):
+                param.data = flat[slot.offset:slot.end].reshape(
+                    slot.shape).astype(np.float32)
 
     def scatter_slice(self, start: int, values: np.ndarray) -> None:
         """Write ``values`` into flat range [start, start+len) of the module.
@@ -93,16 +104,17 @@ class FlatParameterSpace:
             raise PartitionError(
                 f"slice [{start}, {end}) outside flat space of "
                 f"{self.total_elements}")
-        for slot, (_name, param) in zip(self.slots,
-                                        self.module.named_parameters()):
-            lo = max(start, slot.offset)
-            hi = min(end, slot.end)
-            if lo >= hi:
-                continue
-            flat_view = param.data.reshape(-1)
-            flat_view[lo - slot.offset:hi - slot.offset] = (
-                values[lo - start:hi - start])
-            param.data = flat_view.reshape(slot.shape)
+        with self._write_lock:
+            for slot, (_name, param) in zip(self.slots,
+                                            self.module.named_parameters()):
+                lo = max(start, slot.offset)
+                hi = min(end, slot.end)
+                if lo >= hi:
+                    continue
+                flat_view = param.data.reshape(-1)
+                flat_view[lo - slot.offset:hi - slot.offset] = (
+                    values[lo - start:hi - start])
+                param.data = flat_view.reshape(slot.shape)
 
     def gather_grads(self) -> np.ndarray:
         """Accumulated gradients as one flat float32 vector (zeros where a

@@ -17,6 +17,7 @@ the tests check those meters against these closed forms exactly.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -43,33 +44,50 @@ class IterationTraffic:
 
 @dataclass
 class TrafficMeter:
-    """Accumulates traffic per iteration across all devices."""
+    """Accumulates traffic per iteration across all devices.
+
+    Thread-safe: the engines fan per-CSD offload/update work across a
+    worker pool, so ``add_*`` may fire concurrently from several threads.
+    A lock serializes the read-modify-write of each counter; because
+    byte-count addition is commutative, parallel execution meters exactly
+    the same totals as the sequential loop (asserted in tests).
+    ``begin_iteration``/``end_iteration`` stay main-thread calls that
+    delimit the fan-out, never overlapping it.
+    """
 
     iterations: List[IterationTraffic] = field(default_factory=list)
     _current: IterationTraffic = field(default_factory=IterationTraffic)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def begin_iteration(self) -> None:
-        self._current = IterationTraffic()
+        with self._lock:
+            self._current = IterationTraffic()
 
     def end_iteration(self) -> IterationTraffic:
-        self.iterations.append(self._current)
-        return self._current
+        with self._lock:
+            self.iterations.append(self._current)
+            return self._current
 
     @property
     def current(self) -> IterationTraffic:
         return self._current
 
     def add_host_read(self, nbytes: int) -> None:
-        self._current.host_reads += nbytes
+        with self._lock:
+            self._current.host_reads += nbytes
 
     def add_host_write(self, nbytes: int) -> None:
-        self._current.host_writes += nbytes
+        with self._lock:
+            self._current.host_writes += nbytes
 
     def add_internal_read(self, nbytes: int) -> None:
-        self._current.internal_reads += nbytes
+        with self._lock:
+            self._current.internal_reads += nbytes
 
     def add_internal_write(self, nbytes: int) -> None:
-        self._current.internal_writes += nbytes
+        with self._lock:
+            self._current.internal_writes += nbytes
 
 
 def expected_traffic(num_params: int, method: str,

@@ -5,13 +5,25 @@ exercising the same pread/pwrite dataflow the paper's system issues against
 NVMe namespaces (§VI: "We use pread/pwrite system call to the P2P buffer").
 Every device keeps I/O counters, which the traffic experiments read to
 verify the Table I byte accounting against actual I/O performed.
+
+Thread model: each CSD owns its *own* backing file, so when the runtime
+fans per-device update passes across a worker pool, no two threads ever
+issue I/O against the same :class:`FileBlockDevice` — storage I/O across
+devices is embarrassingly parallel, exactly like the hardware's private
+per-SmartSSD P2P paths.  *Within* one device, two threads do overlap: the
+update worker and the device's lazy write-back thread (the transfer
+handler's deferred optimizer-state writes).  ``os.pread``/``os.pwrite``
+are positioned I/O — no shared file offset — so the data path needs no
+lock; the byte/op counters take a small lock so concurrent increments
+never lose updates (traffic accounting must stay exact).
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from .. import telemetry
@@ -20,16 +32,35 @@ from ..errors import StorageError
 
 @dataclass
 class IOCounters:
-    """Cumulative I/O statistics of one device."""
+    """Cumulative I/O statistics of one device.
+
+    Increments go through :meth:`add_read`/:meth:`add_write`, which hold a
+    lock: counters are shared between an update worker and the device's
+    lazy write-back thread, and a lost ``+=`` would silently corrupt the
+    Table I accounting the tests assert byte-exactly.
+    """
 
     bytes_read: int = 0
     bytes_written: int = 0
     read_ops: int = 0
     write_ops: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def add_read(self, nbytes: int, ops: int = 1) -> None:
+        with self._lock:
+            self.bytes_read += nbytes
+            self.read_ops += ops
+
+    def add_write(self, nbytes: int, ops: int = 1) -> None:
+        with self._lock:
+            self.bytes_written += nbytes
+            self.write_ops += ops
 
     def snapshot(self) -> "IOCounters":
-        return IOCounters(self.bytes_read, self.bytes_written,
-                          self.read_ops, self.write_ops)
+        with self._lock:
+            return IOCounters(self.bytes_read, self.bytes_written,
+                              self.read_ops, self.write_ops)
 
     def delta(self, earlier: "IOCounters") -> "IOCounters":
         return IOCounters(
@@ -80,8 +111,7 @@ class FileBlockDevice:
         if len(data) < length:
             # Sparse tail: fill with zeros up to the requested length.
             data = data + b"\x00" * (length - len(data))
-        self.counters.bytes_read += length
-        self.counters.read_ops += 1
+        self.counters.add_read(length)
         if timed:
             telemetry.histogram(
                 "storage_pread_latency_us",
@@ -99,8 +129,7 @@ class FileBlockDevice:
         if written != len(data):
             raise StorageError(
                 f"short write on {self.name}: {written}/{len(data)}")
-        self.counters.bytes_written += written
-        self.counters.write_ops += 1
+        self.counters.add_write(written)
         if timed:
             telemetry.histogram(
                 "storage_pwrite_latency_us",

@@ -80,10 +80,11 @@ class RAID0Volume:
         """Aggregate I/O counters across members."""
         total = IOCounters()
         for member in self.members:
-            total.bytes_read += member.counters.bytes_read
-            total.bytes_written += member.counters.bytes_written
-            total.read_ops += member.counters.read_ops
-            total.write_ops += member.counters.write_ops
+            snap = member.counters.snapshot()
+            total.bytes_read += snap.bytes_read
+            total.bytes_written += snap.bytes_written
+            total.read_ops += snap.read_ops
+            total.write_ops += snap.write_ops
         return total
 
     def close(self) -> None:

@@ -103,6 +103,47 @@ def test_trace_default_output_name(tmp_path, capsys, monkeypatch):
     assert (tmp_path / "gpt2-1.16b-su.trace.json").exists()
 
 
+def test_bench_quick_writes_report(tmp_path, capsys):
+    out = str(tmp_path / "bench.json")
+    assert main(["bench", "--quick", "--csds", "1,2", "--steps", "1",
+                 "--out", out]) == 0
+    printed = capsys.readouterr().out
+    assert "wall-clock parallel bench" in printed
+    assert "SmartComp stream cache" in printed
+    import json
+    with open(out) as handle:
+        report = json.load(handle)
+    assert report["schema"].startswith("smart-infinity/bench-parallel")
+    assert report["environment"]["usable_cpus"] >= 1
+    configs = {(run["num_csds"], run["workers"])
+               for run in report["runs"]}
+    assert configs == {(1, 1), (2, 1), (2, 2)}
+    # Parallel must have reproduced sequential bit-for-bit.
+    checksums = {run["param_checksum"] for run in report["runs"]
+                 if run["num_csds"] == 2}
+    assert len(checksums) == 1
+    assert report["smartcomp_cache"]["reduction_factor"] >= 1.0
+
+
+def test_bench_rejects_bad_csds_list(tmp_path, capsys):
+    assert main(["bench", "--quick", "--csds", "two",
+                 "--out", str(tmp_path / "x.json")]) == 2
+    assert "invalid --csds" in capsys.readouterr().out
+
+
+def test_trace_workers_flag_runs_functional_proxy(tmp_path, capsys):
+    out = str(tmp_path / "w.trace.json")
+    assert main(["trace", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--workers", "2", "--out", out]) == 0
+    import json
+    with open(out) as handle:
+        document = json.load(handle)
+    update_threads = {
+        event["tid"] for event in document["traceEvents"]
+        if event.get("name") == "device_update"}
+    assert len(update_threads) == 2
+
+
 def test_simulate_metrics_prints_exposition(capsys):
     assert main(["simulate", "--model", "gpt2-1.16b", "--csds", "2",
                  "--metrics"]) == 0

@@ -70,3 +70,57 @@ def test_engine_family_bitwise_identical(tmp_path_factory, dim,
 
     np.testing.assert_array_equal(results["host"], results["base"])
     np.testing.assert_array_equal(results["host"], results["smart"])
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    num_csds=st.sampled_from([1, 2, 4]),
+    ratio=st.sampled_from([None, 0.02]),
+    optimizer=st.sampled_from(["adam", "sgd"]),
+    subgroup=st.sampled_from([512, 4096]),
+    seed=st.integers(0, 100),
+)
+def test_parallel_execution_bitwise_identical(tmp_path_factory, num_csds,
+                                              ratio, optimizer, subgroup,
+                                              seed):
+    """Thread-pooled fan-out is invisible to the training trajectory.
+
+    For any shard count and either gradient path (dense SmartUpdate or
+    compressed SmartComp with error feedback), running the per-CSD
+    update passes on ``num_csds`` worker threads must produce the same
+    parameters bit-for-bit AND the same metered traffic byte-for-byte
+    as the sequential loop — concurrency may only change wall-clock.
+    """
+    rng = np.random.default_rng(seed)
+    tokens = rng.integers(0, 16, size=(4, 8))
+    labels = rng.integers(0, 2, size=4)
+    workdir = tmp_path_factory.mktemp("parallel")
+
+    def make_model():
+        return SequenceClassifier(
+            bert_config(vocab_size=16, dim=32, num_layers=1,
+                        num_heads=2, max_seq_len=8),
+            num_classes=2, seed=seed)
+
+    def train(tag, workers):
+        config = TrainingConfig(
+            optimizer=optimizer, optimizer_kwargs={"lr": 1e-2},
+            subgroup_elements=subgroup, compression_ratio=ratio,
+            error_feedback=ratio is not None, parallel_csds=workers)
+        engine = SmartInfinityEngine(make_model(), loss_fn,
+                                     str(workdir / tag),
+                                     num_csds=num_csds, config=config)
+        for _ in range(2):
+            engine.train_step(tokens, labels)
+        params = engine.space.gather_params()
+        traffic = [(t.host_reads, t.host_writes,
+                    t.internal_reads, t.internal_writes)
+                   for t in engine.meter.iterations]
+        engine.close()
+        return params, traffic
+
+    seq_params, seq_traffic = train("seq", workers=1)
+    par_params, par_traffic = train("par", workers=max(2, num_csds))
+    np.testing.assert_array_equal(seq_params, par_params)
+    assert seq_traffic == par_traffic
