@@ -20,7 +20,7 @@ import tempfile
 
 import numpy as np
 
-from repro import SmartInfinityEngine, TrainingConfig
+from repro import TrainingConfig, create_engine
 from repro.csd import sanity_check_updater, updater_design
 from repro.csd.hls import (AXPBY_LANE, KernelDesign, PE_BUFFERS, SHELL,
                            UPDATER_CONTROL)
@@ -98,10 +98,10 @@ def main():
                     max_seq_len=32), num_classes=3, seed=3)
     config = TrainingConfig(optimizer="lion",
                             optimizer_kwargs={"lr": 3e-4},
-                            subgroup_elements=8192)
+                            subgroup_elements=8192, num_csds=3)
     with tempfile.TemporaryDirectory() as workdir:
-        engine = SmartInfinityEngine(model, loss_fn, workdir, num_csds=3,
-                                     config=config)
+        engine = create_engine("smart", model, loss_fn, workdir,
+                               config=config)
         losses = []
         for epoch in range(4):
             rng = np.random.default_rng(epoch)

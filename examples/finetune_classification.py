@@ -15,7 +15,7 @@ import tempfile
 
 import numpy as np
 
-from repro import BaselineOffloadEngine, SmartInfinityEngine, TrainingConfig
+from repro import TrainingConfig, create_engine
 from repro.nn import functional as F
 from repro.nn import SequenceClassifier, bert_config, \
     make_classification_dataset
@@ -45,15 +45,13 @@ def finetune(dataset, method, ratio=None):
     config = TrainingConfig(optimizer="adam",
                             optimizer_kwargs={"lr": 5e-3},
                             subgroup_elements=8192,
-                            compression_ratio=ratio)
+                            compression_ratio=ratio,
+                            raid_members=2, num_csds=3)
     model = make_model()
     with tempfile.TemporaryDirectory() as workdir:
-        if method == "baseline":
-            engine = BaselineOffloadEngine(model, loss_fn, workdir,
-                                           num_ssds=2, config=config)
-        else:
-            engine = SmartInfinityEngine(model, loss_fn, workdir,
-                                         num_csds=3, config=config)
+        mode = "baseline" if method == "baseline" else "smart"
+        engine = create_engine(mode, model, loss_fn, workdir,
+                               config=config)
         grad_bytes = 0
         for epoch in range(EPOCHS):
             rng = np.random.default_rng(100 + epoch)

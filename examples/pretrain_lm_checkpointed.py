@@ -21,7 +21,7 @@ import tempfile
 
 import numpy as np
 
-from repro import SmartInfinityEngine, TrainingConfig
+from repro import TrainingConfig, create_engine
 from repro.nn import (LanguageModel, checkpointed_lm_loss, gpt2_config,
                       make_lm_dataset)
 from repro.optim import linear_warmup_decay
@@ -45,13 +45,14 @@ def main():
                            * STEPS, seq_len=33, vocab_size=64, seed=1)
 
     with tempfile.TemporaryDirectory() as workdir:
-        engine = SmartInfinityEngine(
-            model, loss_fn, workdir, num_csds=4,
+        engine = create_engine(
+            "smart", model, loss_fn, workdir,
             config=TrainingConfig(optimizer="adamw",
                                   optimizer_kwargs={"lr": 3e-3,
                                                     "weight_decay": 0.01},
                                   subgroup_elements=8192,
-                                  compression_ratio=0.10))
+                                  compression_ratio=0.10,
+                                  num_csds=4))
         engine.set_lr_schedule(linear_warmup_decay(
             base_lr=3e-3, warmup_steps=5, total_steps=STEPS))
 

@@ -17,7 +17,7 @@ import tempfile
 
 import numpy as np
 
-from repro import BaselineOffloadEngine, SmartInfinityEngine, TrainingConfig
+from repro import TrainingConfig, create_engine
 from repro.nn import SequenceClassifier, bert_config, \
     make_classification_dataset
 
@@ -48,19 +48,18 @@ def main():
                                           seed=0)
     config = TrainingConfig(optimizer="adam",
                             optimizer_kwargs={"lr": 5e-3},
-                            subgroup_elements=8192)
+                            subgroup_elements=8192,
+                            raid_members=2, num_csds=4)
 
     with tempfile.TemporaryDirectory() as workdir:
-        baseline = BaselineOffloadEngine(make_model(), loss_fn,
-                                         f"{workdir}/base", num_ssds=2,
-                                         config=config)
+        baseline = create_engine("baseline", make_model(), loss_fn,
+                                 f"{workdir}/base", config=config)
         base_losses = train(baseline, dataset)
         base_traffic = baseline.meter.iterations[-1]
         baseline.close()
 
-        smart = SmartInfinityEngine(make_model(), loss_fn,
-                                    f"{workdir}/smart", num_csds=4,
-                                    config=config)
+        smart = create_engine("smart", make_model(), loss_fn,
+                              f"{workdir}/smart", config=config)
         smart_losses = train(smart, dataset)
         smart_traffic = smart.meter.iterations[-1]
         smart.close()

@@ -20,10 +20,13 @@ package provides:
 * :mod:`repro.experiments` — one module per paper table/figure.
 """
 
-from .errors import (CapacityError, GradientOverflowError,
+from .api import ENGINE_MODES, create_engine
+from .errors import (CapacityError, DeviceFailedError, FaultError,
+                     FaultInjectionError, GradientOverflowError,
                      HardwareConfigError, KernelError, PartitionError,
-                     ReproError, SimulationError, StorageError,
-                     TrainingError)
+                     ReproError, RetryExhaustedError, SimulationError,
+                     StorageError, TrainingError)
+from .faults import FaultInjector, FaultPlan, FaultRule, RetryPolicy
 from .runtime import (BaselineOffloadEngine, HostOffloadEngine,
                       SmartInfinityEngine, StepResult, TrainingConfig,
                       expected_traffic, load_checkpoint, save_checkpoint)
@@ -32,12 +35,21 @@ from .version import __version__
 __all__ = [
     "BaselineOffloadEngine",
     "CapacityError",
+    "DeviceFailedError",
+    "ENGINE_MODES",
+    "FaultError",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "GradientOverflowError",
     "HostOffloadEngine",
     "HardwareConfigError",
     "KernelError",
     "PartitionError",
     "ReproError",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "SimulationError",
     "SmartInfinityEngine",
     "StepResult",
@@ -45,6 +57,7 @@ __all__ = [
     "TrainingConfig",
     "TrainingError",
     "__version__",
+    "create_engine",
     "expected_traffic",
     "load_checkpoint",
     "save_checkpoint",

@@ -1,0 +1,67 @@
+"""The supported public construction surface: one factory, three engines.
+
+Historically each engine had its own constructor signature —
+``BaselineOffloadEngine(..., num_ssds=...)``,
+``SmartInfinityEngine(..., num_csds=...)``,
+``HostOffloadEngine(..., host_memory_bytes=...)`` — and callers imported
+three classes to switch between them.  :func:`create_engine` replaces all
+of that with a mode string plus one :class:`~repro.runtime.engine.
+TrainingConfig`: fleet geometry (``num_csds``, ``raid_members``,
+``raid_chunk_bytes``, ``host_memory_bytes``) and the fault plan are
+config fields, so the whole engine setup round-trips through a JSON
+config file.
+
+    from repro.api import create_engine
+
+    engine = create_engine("smart", model, loss_fn, "/data/run0",
+                           config=TrainingConfig(num_csds=4))
+
+The old per-engine constructors keep working but emit
+``DeprecationWarning``; new code (including this repo's CLI, bench
+harness and experiments) goes through the factory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .errors import TrainingError
+from .nn.modules import Module
+from .runtime.engine import (BaselineOffloadEngine, LossFn,
+                             MixedPrecisionTrainer, TrainingConfig)
+from .runtime.host_offload import HostOffloadEngine
+from .runtime.smart import SmartInfinityEngine
+
+#: Engine modes accepted by :func:`create_engine`.
+ENGINE_MODES = ("baseline", "host_offload", "smart")
+
+
+def create_engine(mode: str, model: Module, loss_fn: LossFn,
+                  storage_dir: Optional[str] = None,
+                  config: Optional[TrainingConfig] = None,
+                  ) -> MixedPrecisionTrainer:
+    """Build a training engine from a mode string and one config.
+
+    * ``"baseline"`` — ZeRO-Infinity-style: RAID0 over
+      ``config.raid_members`` SSDs, CPU update (needs ``storage_dir``);
+    * ``"host_offload"`` — ZeRO-Offload-style: states in host DRAM
+      (``storage_dir`` unused);
+    * ``"smart"`` — Smart-Infinity: ``config.num_csds`` SmartSSDs with
+      near-storage FPGA update (needs ``storage_dir``).
+
+    All three share the mixed-precision trainer interface
+    (``train_step``, ``close``, checkpointing) and train bit-identically,
+    so callers can switch modes without touching anything else.
+    """
+    if mode not in ENGINE_MODES:
+        raise TrainingError(
+            f"unknown engine mode {mode!r}; choose from {ENGINE_MODES}")
+    config = config or TrainingConfig()
+    if mode == "host_offload":
+        return HostOffloadEngine(model, loss_fn, config=config)
+    if storage_dir is None:
+        raise TrainingError(f"engine mode {mode!r} needs a storage_dir")
+    if mode == "baseline":
+        return BaselineOffloadEngine(model, loss_fn, storage_dir,
+                                     config=config)
+    return SmartInfinityEngine(model, loss_fn, storage_dir, config=config)

@@ -40,6 +40,7 @@ from typing import List, Optional
 
 from . import telemetry
 from .experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
+from .faults import FaultPlan
 from .hw.gpu import a100_40g, a4000, a5000
 from .hw.topology import default_system
 from .nn.models import ZOO, get_model
@@ -113,6 +114,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker threads for the functional proxy's "
                             "per-CSD fan-out (default: one per proxy "
                             "device, so the trace shows the overlap)")
+    _add_fault_flags(trace)
 
     sweep = commands.add_parser(
         "sweep", help="sweep one axis and tabulate speedups")
@@ -143,7 +145,39 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default="BENCH_parallel.json",
                        help="JSON report path (default "
                             "BENCH_parallel.json)")
+    _add_fault_flags(bench)
     return parser
+
+
+def _add_fault_flags(subparser) -> None:
+    subparser.add_argument(
+        "--fault-plan", default=None, metavar="PLAN_JSON",
+        help="JSON fault plan (repro.faults.FaultPlan) injected into the "
+             "functional engine's storage/CSD fleet")
+    subparser.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="SEED",
+        help="re-seed the fault plan (or, without --fault-plan, enable "
+             "the default transient-chaos plan) with SEED")
+
+
+def _resolve_fault_plan(args) -> Optional[FaultPlan]:
+    """Combine --fault-plan / --chaos-seed into one plan (or None)."""
+    plan = None
+    if args.fault_plan is not None:
+        plan = FaultPlan.from_json_file(args.fault_plan)
+    if args.chaos_seed is not None:
+        plan = (plan or FaultPlan.default_chaos()).with_seed(
+            args.chaos_seed)
+    return plan
+
+
+def _render_fault_stats(stats) -> str:
+    injected = sum(stats["injected"].values())
+    return (f"faults: {injected} injected "
+            f"({', '.join(f'{k}={v}' for k, v in sorted(stats['injected'].items())) or 'none'}), "
+            f"{stats['retries']} retries, "
+            f"{stats['demotions']} demotion(s), "
+            f"{stats['degraded_steps']} degraded step(s)")
 
 
 def _cmd_list_models(_args) -> int:
@@ -213,8 +247,10 @@ def _cmd_analyze(args) -> int:
 
 
 def _run_functional_proxy(num_csds: int, method: str, ratio: float,
-                          workers: Optional[int] = None) -> None:
-    """Train one step of a tiny model through the functional engine.
+                          workers: Optional[int] = None,
+                          fault_plan: Optional[FaultPlan] = None,
+                          steps: int = 1) -> dict:
+    """Train steps of a tiny model through the functional engine.
 
     The proxy exists so the exported trace's wall-clock process contains
     real engine / handler / storage spans (worker threads included); the
@@ -223,15 +259,20 @@ def _run_functional_proxy(num_csds: int, method: str, ratio: float,
     to one worker per proxy device — regardless of the host's core
     count — so the exported timeline shows the device updates on
     distinct ``csd-worker`` thread lanes.
+
+    With a fault plan, the same run doubles as the chaos smoke: retries,
+    backoffs and demotions land in the trace, and the returned
+    ``fault_stats()`` dict summarizes them.
     """
     import numpy as np
 
-    from .nn import SequenceClassifier, bert_config
-    from .runtime import SmartInfinityEngine, TrainingConfig
+    from .api import create_engine
+    from .runtime import TrainingConfig
 
     rng = np.random.default_rng(0)
     tokens = rng.integers(0, 32, size=(4, 16))
     labels = rng.integers(0, 2, size=4)
+    from .nn import SequenceClassifier, bert_config
     model = SequenceClassifier(
         bert_config(vocab_size=32, dim=32, num_layers=2, num_heads=2,
                     max_seq_len=16), num_classes=2, seed=0)
@@ -242,18 +283,23 @@ def _run_functional_proxy(num_csds: int, method: str, ratio: float,
         compression_ratio=ratio if method in ("su_o_c", "su_o_c_q")
         else None,
         use_transfer_handler=method != "su",
-        parallel_csds=workers if workers else proxy_csds)
+        parallel_csds=workers if workers else proxy_csds,
+        num_csds=proxy_csds,
+        fault_plan=fault_plan)
     with tempfile.TemporaryDirectory() as workdir:
-        with SmartInfinityEngine(model, lambda m, t, l: m.loss(t, l),
-                                 workdir, num_csds=proxy_csds,
-                                 config=config) as engine:
-            engine.train_step(tokens, labels)
+        with create_engine("smart", model, lambda m, t, l: m.loss(t, l),
+                           workdir, config=config) as engine:
+            for _ in range(steps):
+                engine.train_step(tokens, labels)
+            return engine.fault_stats()
 
 
 def _cmd_trace(args) -> int:
     out = args.out or f"{args.model}-{args.method}.trace.json"
     workload = make_workload(get_model(args.model))
     system = default_system(num_csds=args.csds, gpu=_GPUS[args.gpu]())
+    fault_plan = _resolve_fault_plan(args)
+    fault_stats = None
     with telemetry.session() as session:
         with telemetry.trace_span("des.simulate", model=args.model,
                                   method=args.method, csds=args.csds):
@@ -261,9 +307,12 @@ def _cmd_trace(args) -> int:
                                    compression_ratio=args.ratio)
         if not args.skip_functional:
             with telemetry.trace_span("functional.proxy",
-                                      method=args.method):
-                _run_functional_proxy(args.csds, args.method, args.ratio,
-                                      workers=args.workers)
+                                      method=args.method,
+                                      chaos=fault_plan is not None):
+                fault_stats = _run_functional_proxy(
+                    args.csds, args.method, args.ratio,
+                    workers=args.workers, fault_plan=fault_plan,
+                    steps=3 if fault_plan is not None else 1)
         telemetry.record_channel_metrics(
             session.registry, trace.fabric.all_channels(),
             horizon=trace.breakdown.total, method=args.method)
@@ -279,6 +328,8 @@ def _cmd_trace(args) -> int:
           f"{sum(len(c.records) for c in trace.fabric.all_channels())} "
           f"sim-time transfers, {len(trace.phase_windows)} phase "
           f"window(s)")
+    if fault_stats is not None and fault_plan is not None:
+        print(_render_fault_stats(fault_stats))
     print("open it at https://ui.perfetto.dev or chrome://tracing")
     if args.metrics:
         print()
@@ -305,7 +356,8 @@ def _cmd_bench(args) -> int:
         print(f"--csds needs positive device counts, got {args.csds!r}")
         return 2
     report = run_parallel_bench(quick=args.quick, out_path=args.out,
-                                csd_counts=csd_counts, steps=args.steps)
+                                csd_counts=csd_counts, steps=args.steps,
+                                fault_plan=_resolve_fault_plan(args))
     print(render_report(report))
     print(f"[saved to {args.out}]")
     return 0

@@ -40,11 +40,16 @@ class SmartSSDDevice:
 
     def __init__(self, path: str, capacity_bytes: int,
                  spec: Optional[CSDSpec] = None,
-                 device_id: int = 0) -> None:
+                 device_id: int = 0, fault_site=None) -> None:
         self.spec = spec or smartssd()
         self.device_id = device_id
+        # The same FaultSite covers the NVMe namespace (read/write ops,
+        # guarded inside FileBlockDevice) and the FPGA (op="kernel",
+        # guarded via fault_guard before each kernel pass).
+        self.fault_site = fault_site
         self.ssd = FileBlockDevice(path, capacity_bytes,
-                                   name=f"csd{device_id}")
+                                   name=f"csd{device_id}",
+                                   fault_site=fault_site)
         self.store = TensorStore(self.ssd)
         self.host_traffic = IOCounters()
         self.internal_traffic = IOCounters()
@@ -157,6 +162,16 @@ class SmartSSDDevice:
     # ------------------------------------------------------------------
     # kernels
     # ------------------------------------------------------------------
+    def fault_guard(self, op: str) -> None:
+        """Consult the fault plan before a device-side operation.
+
+        The transfer handler calls this with ``op="kernel"`` before each
+        FPGA pass; a ``kernel_stall`` fault therefore fires *before* the
+        kernel mutates DRAM, so a retried pass still runs exactly once.
+        """
+        if self.fault_site is not None:
+            self.fault_site.guard(op)
+
     def make_updater(self, optimizer,
                      chunk_elements: int = 16_384) -> UpdaterKernel:
         return UpdaterKernel(optimizer, chunk_elements=chunk_elements)

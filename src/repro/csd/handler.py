@@ -110,6 +110,12 @@ class TransferHandler:
 
         self._lazy_queue: "queue.Queue[Optional[Tuple[str, int, int]]]" = (
             queue.Queue())
+        # Commit log of lazy state write-backs that actually reached the
+        # SSD: (region name, subgroup start).  The engine's demotion path
+        # reads it (after abandon() joins the worker) to decide which
+        # optimizer-state slices must be recomputed on the host.  Cleared
+        # at the start of each update pass.
+        self.state_commits: set = set()
         self._writer_error: Optional[BaseException] = None
         self._writer = threading.Thread(
             target=self._drain_lazy, name=f"csd{device.device_id}-lazy",
@@ -138,6 +144,7 @@ class TransferHandler:
                     self.device.p2p_write_from(name, start,
                                                self.buffers[name], count)
                     self.stats.lazy_writebacks += 1
+                    self.state_commits.add((name, start))
             except BaseException as exc:
                 # Record the first failure and keep draining: the buffer
                 # latches must keep firing or producers would deadlock.
@@ -180,6 +187,7 @@ class TransferHandler:
         """
         if self._closed:
             raise KernelError("handler is closed")
+        self.state_commits.clear()
         for subgroup in subgroups:
             if subgroup.count > self.max_subgroup_elements:
                 raise CapacityError(
@@ -205,8 +213,11 @@ class TransferHandler:
                             name, subgroup.start, self.buffers[name],
                             subgroup.count)
 
-                # Update phase on the FPGA.
+                # Update phase on the FPGA.  The fault guard fires before
+                # the kernel touches DRAM, so a retried (stalled) pass
+                # still mutates state exactly once.
                 with telemetry.trace_span("handler.kernel"):
+                    self.device.fault_guard("kernel")
                     kernel.run(params, grads, state, step_num)
 
                 # Urgent write-back: parameters first, synchronously.
@@ -261,6 +272,24 @@ class TransferHandler:
             self.device.free_dram(f"handler/{name}")
         self._closed = True
 
+    def abandon(self) -> None:
+        """Shut down after a device failure, without raising.
+
+        Unlike :meth:`close`, this neither synchronizes (the device is
+        gone; pending writes can only fail) nor re-raises the worker's
+        recorded error.  It drains the worker so ``state_commits`` is
+        final and frees the DRAM buffers.  Used by the engine's demotion
+        path before salvaging the shard to the host.
+        """
+        if self._closed:
+            return
+        self._lazy_queue.put(None)
+        self._writer.join(timeout=10.0)
+        self._writer_error = None
+        for name in self._variables:
+            self.device.free_dram(f"handler/{name}")
+        self._closed = True
+
     def __enter__(self) -> "TransferHandler":
         return self
 
@@ -273,11 +302,15 @@ def naive_update_pass(
         kernel: UpdaterKernel, step_num: int, state_names: Sequence[str],
         load_grads: Callable[[Subgroup, np.ndarray], np.ndarray],
         on_params_written: Optional[Callable[[Subgroup], None]] = None,
+        on_state_written: Optional[Callable[[str, Subgroup], None]] = None,
 ) -> None:
     """The Fig. 5a baseline: per-subgroup allocation, fully sequential.
 
     Used by tests to show the optimized handler computes identical results,
     and by the ablation experiments as the plain-SU reference.
+    ``on_state_written`` mirrors the optimized handler's commit log: it
+    fires after each optimizer-state slice reaches the SSD, letting the
+    engine's demotion path track commits on this path too.
     """
     for subgroup in subgroups:
         buffers = {
@@ -295,6 +328,7 @@ def naive_update_pass(
                                            buffers[name], subgroup.count)
                 for name in state_names
             }
+            device.fault_guard("kernel")
             kernel.run(params, grads, state, step_num)
             device.p2p_write_from("master_params", subgroup.start,
                                   buffers["master_params"], subgroup.count)
@@ -303,6 +337,8 @@ def naive_update_pass(
             for name in state_names:
                 device.p2p_write_from(name, subgroup.start, buffers[name],
                                       subgroup.count)
+                if on_state_written is not None:
+                    on_state_written(name, subgroup)
         finally:
             for name in buffers:
                 device.free_dram(f"naive{subgroup.index}/{name}")

@@ -40,6 +40,54 @@ class TelemetryError(ReproError):
     """Telemetry misuse (metric kind clash, double-ended span, bad buckets)."""
 
 
+class FaultError(ReproError):
+    """Base class for injected-fault conditions (see :mod:`repro.faults`)."""
+
+
+class FaultInjectionError(FaultError):
+    """A *transient* injected fault (I/O error, stuck kernel pass).
+
+    Transient faults are retryable: the storage and CSD layers wrap the
+    faulted operation in an exponential-backoff retry loop, so a
+    transient fault that clears is invisible to training semantics.
+    """
+
+    def __init__(self, message: str, kind: str = "io_error",
+                 device: object = None, op: str = "*") -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.device = device
+        self.op = op
+
+
+class DeviceFailedError(FaultError):
+    """A device dropped out *permanently* (dead CSD, failed RAID member).
+
+    Not retryable.  The Smart-Infinity engine responds by demoting the
+    device's shard to the host-CPU update path; RAID0 responds by
+    entering degraded mode (fail-stop, restore from checkpoint).
+    """
+
+    def __init__(self, message: str, device: object = None) -> None:
+        super().__init__(message)
+        self.device = device
+
+
+class RetryExhaustedError(FaultError):
+    """Transient faults persisted beyond the retry budget.
+
+    Carries the last transient fault as ``last_fault``; the engines treat
+    an exhausted device like a failed one (next rung of the degradation
+    ladder).
+    """
+
+    def __init__(self, message: str, attempts: int = 0,
+                 last_fault: object = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_fault = last_fault
+
+
 class TrainingError(ReproError):
     """A failure inside the training runtime (engine misuse, divergence)."""
 

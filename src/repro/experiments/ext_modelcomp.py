@@ -26,8 +26,8 @@ from ..nn.models import get_model
 from ..nn.transformer import SequenceClassifier, bert_config
 from ..perf.scenarios import simulate_iteration
 from ..perf.workload import make_workload
+from ..api import create_engine
 from ..runtime.engine import TrainingConfig
-from ..runtime.smart import SmartInfinityEngine
 from .report import render_table
 
 
@@ -72,8 +72,8 @@ def _finetune(dataset, config: TrainingConfig, epochs: int = 3):
                     max_seq_len=dataset.train_tokens.shape[1]),
         num_classes=dataset.num_classes, seed=4)
     with tempfile.TemporaryDirectory() as workdir:
-        engine = SmartInfinityEngine(model, _loss_fn, workdir, num_csds=2,
-                                     config=config)
+        engine = create_engine("smart", model, _loss_fn, workdir,
+                               config=config)
         upstream = 0
         for epoch in range(epochs):
             rng = np.random.default_rng(50 + epoch)
@@ -95,7 +95,8 @@ def run(epochs: int = 5) -> ModelCompResult:
                                           seq_len=32, vocab_size=64,
                                           noise=0.03, seed=9)
     base_kwargs = dict(optimizer="adam", optimizer_kwargs={"lr": 5e-3},
-                       subgroup_elements=8192, compression_ratio=0.05)
+                       subgroup_elements=8192, compression_ratio=0.05,
+                       num_csds=2)
 
     accuracies: Dict[str, float] = {}
     upstream: Dict[str, int] = {}

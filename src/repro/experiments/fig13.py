@@ -22,8 +22,8 @@ from ..nn.transformer import (LanguageModel, SequenceClassifier,
                               bloom_config, vit_config)
 from ..perf.scenarios import simulate_iteration
 from ..perf.workload import make_workload
+from ..api import create_engine
 from ..runtime.engine import TrainingConfig
-from ..runtime.smart import SmartInfinityEngine
 from .report import render_table
 
 MODELS = ("bloom-7.1b", "vit-1.9b")
@@ -66,11 +66,11 @@ def _train_tiny_bloom() -> Dict[str, float]:
         return m.loss(tokens)
 
     with tempfile.TemporaryDirectory() as workdir:
-        engine = SmartInfinityEngine(
-            model, loss_fn, workdir, num_csds=2,
+        engine = create_engine(
+            "smart", model, loss_fn, workdir,
             config=TrainingConfig(optimizer="adam",
                                   optimizer_kwargs={"lr": 1e-2},
-                                  subgroup_elements=4096))
+                                  subgroup_elements=4096, num_csds=2))
         losses = [engine.train_step(data[:4]).loss for _ in range(12)]
         engine.close()
     return {"first": losses[0], "last": losses[-1]}
@@ -87,11 +87,11 @@ def _train_tiny_vit() -> Dict[str, float]:
         return m.loss(tokens, labels)
 
     with tempfile.TemporaryDirectory() as workdir:
-        engine = SmartInfinityEngine(
-            model, loss_fn, workdir, num_csds=2,
+        engine = create_engine(
+            "smart", model, loss_fn, workdir,
             config=TrainingConfig(optimizer="adam",
                                   optimizer_kwargs={"lr": 1e-2},
-                                  subgroup_elements=4096))
+                                  subgroup_elements=4096, num_csds=2))
         rng = np.random.default_rng(0)
         losses = []
         for _epoch in range(4):

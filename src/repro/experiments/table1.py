@@ -14,12 +14,12 @@ import tempfile
 from dataclasses import dataclass
 from typing import Dict
 
+from ..api import create_engine
 from ..nn.data import make_classification_dataset
 from ..nn.models import get_model
 from ..nn.transformer import SequenceClassifier, bert_config
-from ..runtime.engine import BaselineOffloadEngine, TrainingConfig
+from ..runtime.engine import TrainingConfig
 from ..runtime.partition import distribute_shards
-from ..runtime.smart import SmartInfinityEngine
 from ..runtime.stats import expected_traffic
 from .report import render_table
 
@@ -104,15 +104,15 @@ def run(model_name: str = "gpt2-4.0b") -> Table1Result:
                         max_seq_len=16), num_classes=3, seed=1)
 
     engines = {
-        "baseline": lambda d: BaselineOffloadEngine(
-            tiny_model(), _loss_fn, d, num_ssds=3,
-            config=TrainingConfig(**config_kwargs)),
-        "smartupdate": lambda d: SmartInfinityEngine(
-            tiny_model(), _loss_fn, d, num_csds=3,
-            config=TrainingConfig(**config_kwargs)),
-        "smartcomp": lambda d: SmartInfinityEngine(
-            tiny_model(), _loss_fn, d, num_csds=3,
-            config=TrainingConfig(**config_kwargs,
+        "baseline": lambda d: create_engine(
+            "baseline", tiny_model(), _loss_fn, d,
+            config=TrainingConfig(**config_kwargs, raid_members=3)),
+        "smartupdate": lambda d: create_engine(
+            "smart", tiny_model(), _loss_fn, d,
+            config=TrainingConfig(**config_kwargs, num_csds=3)),
+        "smartcomp": lambda d: create_engine(
+            "smart", tiny_model(), _loss_fn, d,
+            config=TrainingConfig(**config_kwargs, num_csds=3,
                                   compression_ratio=0.02)),
     }
     for method, factory in engines.items():

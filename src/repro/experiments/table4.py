@@ -29,8 +29,8 @@ from ..nn.models import get_model
 from ..nn.transformer import SequenceClassifier, bert_config
 from ..perf.scenarios import simulate_iteration
 from ..perf.workload import make_workload
-from ..runtime.engine import BaselineOffloadEngine, TrainingConfig
-from ..runtime.smart import SmartInfinityEngine
+from ..api import create_engine
+from ..runtime.engine import TrainingConfig
 from .report import render_table
 
 FINETUNE_MODELS = ("bert-0.34b", "gpt2-0.77b", "gpt2-1.6b")
@@ -110,13 +110,13 @@ def _finetune(dataset: ClassificationDataset, method: str, epochs: int,
 
     with tempfile.TemporaryDirectory() as workdir:
         if method == "baseline":
-            engine = BaselineOffloadEngine(
-                model, loss_fn, workdir, num_ssds=2,
-                config=TrainingConfig(**config_kwargs))
+            engine = create_engine(
+                "baseline", model, loss_fn, workdir,
+                config=TrainingConfig(**config_kwargs, raid_members=2))
         else:
-            engine = SmartInfinityEngine(
-                model, loss_fn, workdir, num_csds=3,
-                config=TrainingConfig(**config_kwargs,
+            engine = create_engine(
+                "smart", model, loss_fn, workdir,
+                config=TrainingConfig(**config_kwargs, num_csds=3,
                                       compression_ratio=ratio))
         for epoch in range(epochs):
             rng = np.random.default_rng(1000 + epoch)

@@ -32,10 +32,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..api import create_engine
 from ..compression.topk import keep_count
+from ..faults import FaultPlan
 from ..nn import SequenceClassifier, bert_config
 from .engine import TrainingConfig
-from .smart import SmartInfinityEngine
 
 #: Schema marker so downstream tooling can detect format changes.
 SCHEMA = "smart-infinity/bench-parallel/v1"
@@ -96,6 +97,7 @@ class BenchRun:
     internal_read_bytes: int
     internal_write_bytes: int
     param_checksum: str
+    faults: Optional[Dict[str, object]] = None
 
 
 def _loss_fn(model, tokens, labels):
@@ -108,18 +110,18 @@ def _checksum(params: np.ndarray) -> str:
     return hashlib.sha256(params.tobytes()).hexdigest()[:16]
 
 
-def _run_one(workload: BenchWorkload, num_csds: int,
-             workers: int) -> BenchRun:
+def _run_one(workload: BenchWorkload, num_csds: int, workers: int,
+             fault_plan: Optional[FaultPlan] = None) -> BenchRun:
     config = TrainingConfig(
         optimizer="adam", optimizer_kwargs={"lr": 1e-3},
         subgroup_elements=workload.subgroup_elements,
         kernel_chunk_elements=workload.kernel_chunk_elements,
-        parallel_csds=workers)
+        parallel_csds=workers, num_csds=num_csds,
+        fault_plan=fault_plan)
     tokens, labels = workload.make_batch()
     with tempfile.TemporaryDirectory(prefix="bench-csd") as workdir:
-        with SmartInfinityEngine(workload.make_model(), _loss_fn,
-                                 workdir, num_csds=num_csds,
-                                 config=config) as engine:
+        with create_engine("smart", workload.make_model(), _loss_fn,
+                           workdir, config=config) as engine:
             for _ in range(workload.warmup_steps):
                 engine.train_step(tokens, labels)
             begin = time.perf_counter()
@@ -128,6 +130,7 @@ def _run_one(workload: BenchWorkload, num_csds: int,
             wall = time.perf_counter() - begin
             timed = engine.meter.iterations[-workload.steps:]
             params = engine.space.gather_params()
+            fault_stats = engine.fault_stats() if fault_plan else None
     return BenchRun(
         num_csds=num_csds, workers=workers, steps=workload.steps,
         wall_seconds=wall,
@@ -136,7 +139,8 @@ def _run_one(workload: BenchWorkload, num_csds: int,
         host_write_bytes=sum(t.host_writes for t in timed),
         internal_read_bytes=sum(t.internal_reads for t in timed),
         internal_write_bytes=sum(t.internal_writes for t in timed),
-        param_checksum=_checksum(params))
+        param_checksum=_checksum(params),
+        faults=fault_stats)
 
 
 def _measure_smartcomp_cache(workload: BenchWorkload,
@@ -153,12 +157,11 @@ def _measure_smartcomp_cache(workload: BenchWorkload,
         optimizer="adam", optimizer_kwargs={"lr": 1e-3},
         subgroup_elements=workload.subgroup_elements,
         kernel_chunk_elements=workload.kernel_chunk_elements,
-        compression_ratio=ratio, parallel_csds=1)
+        compression_ratio=ratio, parallel_csds=1, num_csds=num_csds)
     tokens, labels = workload.make_batch()
     with tempfile.TemporaryDirectory(prefix="bench-comp") as workdir:
-        with SmartInfinityEngine(workload.make_model(), _loss_fn,
-                                 workdir, num_csds=num_csds,
-                                 config=config) as engine:
+        with create_engine("smart", workload.make_model(), _loss_fn,
+                           workdir, config=config) as engine:
             engine.train_step(tokens, labels)
             traffic = engine.meter.iterations[-1]
             extra_without_cache = 0
@@ -182,13 +185,17 @@ def _measure_smartcomp_cache(workload: BenchWorkload,
 def run_parallel_bench(quick: bool = False,
                        out_path: Optional[str] = None,
                        csd_counts: Sequence[int] = (1, 2, 4),
-                       steps: Optional[int] = None) -> Dict[str, object]:
+                       steps: Optional[int] = None,
+                       fault_plan: Optional[FaultPlan] = None,
+                       ) -> Dict[str, object]:
     """Run the full benchmark matrix and (optionally) write the report.
 
     For each CSD count the sequential configuration (``workers=1``) runs
     first, then — for counts above one — the thread-pooled configuration
     with one worker per CSD.  Bit-identity between the two is checked
     here, not just in the test suite, so a published JSON is self-vouching.
+    Under a ``fault_plan`` the check still holds: fault streams are keyed
+    per device, not per thread, so chaos is schedule-independent.
     """
     workload = QUICK_WORKLOAD if quick else FULL_WORKLOAD
     if steps is not None:
@@ -199,11 +206,13 @@ def run_parallel_bench(quick: bool = False,
     runs: List[BenchRun] = []
     speedups: Dict[str, Dict[str, float]] = {}
     for num_csds in csd_counts:
-        sequential = _run_one(workload, num_csds, workers=1)
+        sequential = _run_one(workload, num_csds, workers=1,
+                              fault_plan=fault_plan)
         runs.append(sequential)
         if num_csds == 1:
             continue
-        parallel = _run_one(workload, num_csds, workers=num_csds)
+        parallel = _run_one(workload, num_csds, workers=num_csds,
+                            fault_plan=fault_plan)
         runs.append(parallel)
         if parallel.param_checksum != sequential.param_checksum:
             raise AssertionError(
@@ -236,6 +245,8 @@ def run_parallel_bench(quick: bool = False,
         "speedups": speedups,
         "smartcomp_cache": _measure_smartcomp_cache(workload),
     }
+    if fault_plan is not None:
+        report["fault_plan"] = fault_plan.to_dict()
     if out_path is not None:
         with open(out_path, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -264,4 +275,11 @@ def render_report(report: Dict[str, object]) -> str:
         f"{cache['internal_read_bytes_per_iter']} B/iter internal reads "
         f"vs {cache['legacy_internal_read_bytes_per_iter']} B/iter "
         f"uncached ({cache['reduction_factor']:.2f}x fewer)")
+    if report.get("fault_plan") is not None:
+        injected = sum(sum(run["faults"]["injected"].values())
+                       for run in report["runs"] if run.get("faults"))
+        retries = sum(run["faults"]["retries"]
+                      for run in report["runs"] if run.get("faults"))
+        lines.append(f"  chaos: {injected} faults injected, "
+                     f"{retries} retries (checksums still bit-identical)")
     return "\n".join(lines)

@@ -14,21 +14,33 @@ from typing import Dict
 import numpy as np
 
 from ..errors import TrainingError
+from .engine import fault_bypass
 
 #: Format marker for forward compatibility.
 FORMAT_VERSION = 1
 
 
 def _gather_state(engine) -> Dict[str, np.ndarray]:
-    """Flat masters + moments from any engine, by duck typing."""
+    """Flat masters + moments from any engine, by duck typing.
+
+    Checkpoint I/O is maintenance traffic (outside the fault domain), and
+    a demoted device's shard is gathered from its host-resident copy —
+    checkpointing keeps working after graceful degradation, which is
+    exactly when a checkpoint matters most.
+    """
     state_names = engine.optimizer.state_names
     if hasattr(engine, "devices"):          # SmartInfinityEngine
+        host_shards = getattr(engine, "_host_shards", {})
         arrays = {"master_params": [], **{n: [] for n in state_names}}
-        for device in engine.devices:
-            arrays["master_params"].append(
-                device.store.read_array("master_params"))
-            for name in state_names:
-                arrays[name].append(device.store.read_array(name))
+        with fault_bypass(getattr(engine, "faults", None)):
+            for index, device in enumerate(engine.devices):
+                source = host_shards.get(index)
+                if source is None:
+                    source = {name: device.store.read_array(name)
+                              for name in ("master_params", *state_names)}
+                arrays["master_params"].append(source["master_params"])
+                for name in state_names:
+                    arrays[name].append(source[name])
         out = {name: np.concatenate(parts)
                for name, parts in arrays.items()}
         # SmartComp's error-feedback residuals are training state too:
@@ -54,16 +66,25 @@ def _scatter_state(engine, arrays: Dict[str, np.ndarray]) -> None:
     """Write flat masters + moments back into an engine's storage."""
     state_names = engine.optimizer.state_names
     if hasattr(engine, "devices"):
-        for index, (device, shard) in enumerate(
-                zip(engine.devices, engine.shards)):
-            view = slice(shard.start, shard.end)
-            device.store.write_array("master_params",
-                                     arrays["master_params"][view])
-            for name in state_names:
-                device.store.write_array(name, arrays[name][view])
-            feedback = engine.feedback[index]
-            if feedback is not None and "ef_residual" in arrays:
-                feedback.residual[:] = arrays["ef_residual"][view]
+        host_shards = getattr(engine, "_host_shards", {})
+        with fault_bypass(getattr(engine, "faults", None)):
+            for index, (device, shard) in enumerate(
+                    zip(engine.devices, engine.shards)):
+                view = slice(shard.start, shard.end)
+                target = host_shards.get(index)
+                if target is not None:
+                    target["master_params"][:] = \
+                        arrays["master_params"][view]
+                    for name in state_names:
+                        target[name][:] = arrays[name][view]
+                else:
+                    device.store.write_array("master_params",
+                                             arrays["master_params"][view])
+                    for name in state_names:
+                        device.store.write_array(name, arrays[name][view])
+                feedback = engine.feedback[index]
+                if feedback is not None and "ef_residual" in arrays:
+                    feedback.residual[:] = arrays["ef_residual"][view]
         return
     if hasattr(engine, "store"):
         engine.store.write_array("master_params",

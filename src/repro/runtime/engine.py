@@ -16,15 +16,19 @@ comparisons differ *only* in where the update runs.
 
 from __future__ import annotations
 
+import contextlib
+import difflib
 import json
 import os
-from dataclasses import dataclass, field, fields
+import warnings
+from dataclasses import dataclass, field, fields, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import telemetry
 from ..errors import TrainingError
+from ..faults import FaultInjector, FaultPlan
 from ..nn.modules import Module
 from ..nn.precision import (LossScaler, clip_gradients, has_overflow)
 from ..optim import make_optimizer
@@ -69,6 +73,19 @@ class TrainingConfig:
     #: ``min(num_csds, cpu_count)``; 1 forces the sequential loop;
     #: parallel execution is bit-identical to sequential (tested).
     parallel_csds: Optional[int] = None
+    #: Fleet geometry (folded out of the old per-engine ctor kwargs so
+    #: :func:`repro.api.create_engine` needs only a mode + config):
+    #: number of SmartSSDs for the smart engine ...
+    num_csds: int = 1
+    #: ... RAID0 member count + stripe chunk for the baseline engine ...
+    raid_members: int = 1
+    raid_chunk_bytes: int = 1 << 20
+    #: ... and the host-DRAM budget of the host-offload engine (None =
+    #: unchecked).
+    host_memory_bytes: Optional[int] = None
+    #: Fault-injection plan for the storage/CSD fleet (None = no faults).
+    #: See :mod:`repro.faults` for the failure model.
+    fault_plan: Optional[FaultPlan] = None
 
     # ------------------------------------------------------------------
     # DeepSpeed-style config files (§VI: "enabled by simply specifying an
@@ -76,17 +93,34 @@ class TrainingConfig:
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
         """Plain-dict form, suitable for ``json.dump``."""
-        return dict(self.__dict__)
+        data = dict(self.__dict__)
+        if self.fault_plan is not None:
+            data["fault_plan"] = self.fault_plan.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "TrainingConfig":
-        """Build a config from a dict, rejecting unknown keys."""
+        """Build a config from a dict, rejecting unknown keys.
+
+        Unknown keys fail loudly with close-match suggestions, so a typo
+        like ``compression_ration`` points at ``compression_ratio``
+        instead of silently training with defaults.
+        """
         known = {field.name for field in fields(cls)}
         unknown = set(data) - known
         if unknown:
+            hints = []
+            for key in sorted(unknown):
+                close = difflib.get_close_matches(key, known, n=1)
+                hints.append(f"{key!r}" + (f" (did you mean {close[0]!r}?)"
+                                           if close else ""))
             raise TrainingError(
-                f"unknown config keys: {sorted(unknown)}; known keys: "
+                f"unknown config keys: {', '.join(hints)}; known keys: "
                 f"{sorted(known)}")
+        data = dict(data)
+        plan = data.get("fault_plan")
+        if isinstance(plan, dict):
+            data["fault_plan"] = FaultPlan.from_dict(plan)
         return cls(**data)
 
     @classmethod
@@ -98,6 +132,44 @@ class TrainingConfig:
     def to_json_file(self, path: str) -> None:
         with open(path, "w") as handle:
             json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+
+
+def fold_deprecated_kwarg(config: TrainingConfig, kwarg: str, value,
+                          field_name: str, engine: str) -> TrainingConfig:
+    """Fold an old constructor kwarg into the config, with a warning.
+
+    The engines' fleet-geometry kwargs (``num_ssds``, ``num_csds``,
+    ``host_memory_bytes``) moved into :class:`TrainingConfig` so the
+    :func:`repro.api.create_engine` factory can build any engine from a
+    mode string plus one config object.  The old signatures keep working
+    through this shim.
+    """
+    if value is None:
+        return config
+    warnings.warn(
+        f"{engine}({kwarg}=...) is deprecated; set "
+        f"TrainingConfig.{field_name} and use repro.api.create_engine",
+        DeprecationWarning, stacklevel=3)
+    return replace(config, **{field_name: value})
+
+
+def make_fault_injector(config: TrainingConfig) -> Optional["FaultInjector"]:
+    """The engine-side fault injector, or None when no plan is set."""
+    if config.fault_plan is None:
+        return None
+    return FaultInjector(config.fault_plan)
+
+
+def fault_bypass(faults: Optional[FaultInjector]):
+    """Context manager suspending injection (no-op without an injector).
+
+    Engines wrap construction-time placement and demotion-time salvage
+    reads in this: setup traffic and the emulated maintenance path are
+    outside the fault domain.
+    """
+    if faults is None:
+        return contextlib.nullcontext()
+    return faults.maintenance()
 
 
 @dataclass(frozen=True)
@@ -130,6 +202,23 @@ class MixedPrecisionTrainer:
     @property
     def num_params(self) -> int:
         return self.space.total_elements
+
+    def fault_stats(self) -> Dict[str, object]:
+        """Cumulative fault/resilience accounting for this engine.
+
+        Always returns the full shape (zeros without a fault plan) so
+        reports and tests can read it unconditionally.
+        """
+        stats: Dict[str, object] = {
+            "injected": {}, "retries": 0, "retries_exhausted": 0,
+            "backoff_seconds": 0.0, "latency_seconds": 0.0, "dropouts": 0,
+        }
+        faults = getattr(self, "faults", None)
+        if faults is not None:
+            stats.update(faults.stats.snapshot())
+        stats["demotions"] = len(getattr(self, "demotions", ()))
+        stats["degraded_steps"] = int(getattr(self, "degraded_steps", 0))
+        return stats
 
     # ------------------------------------------------------------------
     # learning-rate scheduling
@@ -204,40 +293,59 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
     """ZeRO-Infinity-style baseline: RAID0 storage + CPU update."""
 
     def __init__(self, model: Module, loss_fn: LossFn, storage_dir: str,
-                 num_ssds: int = 1,
+                 num_ssds: Optional[int] = None,
                  config: Optional[TrainingConfig] = None) -> None:
-        config = config or TrainingConfig()
+        config = fold_deprecated_kwarg(
+            config or TrainingConfig(), "num_ssds", num_ssds,
+            "raid_members", "BaselineOffloadEngine")
         super().__init__(model, loss_fn, config)
+        num_ssds = config.raid_members
         if num_ssds < 1:
             raise TrainingError("need at least one SSD")
         os.makedirs(storage_dir, exist_ok=True)
+        self.faults = make_fault_injector(config)
+        self._closed = False
+        self.volume: Optional[RAID0Volume] = None
 
-        total = self.space.total_elements
-        words = 2 + self.optimizer.states_per_param  # grads + states
-        per_member = (4 * total * words // num_ssds) + (1 << 20)
-        members = [
-            FileBlockDevice(os.path.join(storage_dir, f"ssd{i}.img"),
-                            per_member, name=f"ssd{i}")
-            for i in range(num_ssds)
-        ]
-        self.volume = RAID0Volume(members)
-        self.store = TensorStore(self.volume)
-        self.meter = TrafficMeter()
+        # Open members one by one so a failure mid-construction can
+        # release every device already opened (no leaked descriptors).
+        members: List[FileBlockDevice] = []
+        try:
+            total = self.space.total_elements
+            words = 2 + self.optimizer.states_per_param  # grads + states
+            per_member = (4 * total * words // num_ssds) + (1 << 20)
+            for i in range(num_ssds):
+                site = (self.faults.site(i)
+                        if self.faults is not None else None)
+                members.append(FileBlockDevice(
+                    os.path.join(storage_dir, f"ssd{i}.img"), per_member,
+                    name=f"ssd{i}", fault_site=site))
+            self.volume = RAID0Volume(members,
+                                      chunk_bytes=config.raid_chunk_bytes)
+            self.store = TensorStore(self.volume)
+            self.meter = TrafficMeter()
 
-        self._state_names = self.optimizer.state_names
-        self.store.allocate("master_params", total)
-        self.store.allocate("grads", total)
-        for name in self._state_names:
-            self.store.allocate(name, total)
+            self._state_names = self.optimizer.state_names
+            self.store.allocate("master_params", total)
+            self.store.allocate("grads", total)
+            for name in self._state_names:
+                self.store.allocate(name, total)
 
-        # Initial placement: masters = init weights, moments = zero; the
-        # FP16 working copy is what the model computes with.
-        masters = self.space.gather_params()
-        self.store.write_array("master_params", masters)
-        zero = np.zeros(total, dtype=np.float32)
-        for name in self._state_names:
-            self.store.write_array(name, zero)
-        self.space.install_fp16_params(masters)
+            # Initial placement: masters = init weights, moments = zero;
+            # the FP16 working copy is what the model computes with.
+            # Placement is setup traffic, outside the fault domain.
+            with fault_bypass(self.faults):
+                masters = self.space.gather_params()
+                self.store.write_array("master_params", masters)
+                zero = np.zeros(total, dtype=np.float32)
+                for name in self._state_names:
+                    self.store.write_array(name, zero)
+            self.space.install_fp16_params(masters)
+        except BaseException:
+            for member in members:
+                member.close()
+            self._closed = True
+            raise
 
     # ------------------------------------------------------------------
     def train_step(self, *batch: np.ndarray) -> StepResult:
@@ -312,7 +420,11 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
                 self.space.install_fp16_slice(start, masters)
 
     def close(self) -> None:
-        self.volume.close()
+        if self._closed:
+            return
+        self._closed = True
+        if self.volume is not None:
+            self.volume.close()
 
     def __enter__(self) -> "BaselineOffloadEngine":
         return self

@@ -40,8 +40,13 @@ class HostOffloadEngine(MixedPrecisionTrainer):
     def __init__(self, model: Module, loss_fn: LossFn,
                  config: Optional[TrainingConfig] = None,
                  host_memory_bytes: Optional[int] = None) -> None:
-        config = config or TrainingConfig()
+        from .engine import fold_deprecated_kwarg
+        config = fold_deprecated_kwarg(
+            config or TrainingConfig(), "host_memory_bytes",
+            host_memory_bytes, "host_memory_bytes", "HostOffloadEngine")
         super().__init__(model, loss_fn, config)
+        self._closed = False
+        host_memory_bytes = config.host_memory_bytes
         total = self.space.total_elements
         states_bytes = 4 * total * self.optimizer.states_per_param
         if host_memory_bytes is not None and states_bytes > \
@@ -121,5 +126,8 @@ class HostOffloadEngine(MixedPrecisionTrainer):
                                   for name in self.optimizer.state_names]
 
     def close(self) -> None:
-        """Release the worker pool (no storage to close)."""
+        """Release the worker pool (no storage to close). Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
         self._pool.close()

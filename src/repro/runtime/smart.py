@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -41,12 +41,14 @@ from ..csd.device import SmartSSDDevice
 from ..csd.handler import (Subgroup, TransferHandler, naive_update_pass,
                            plan_subgroups)
 from ..csd.kernels import DecompressorKernel, UpdaterKernel
-from ..errors import TrainingError
+from ..errors import DeviceFailedError, RetryExhaustedError, TrainingError
 from ..modelcomp.pruning import PruningMask, magnitude_mask
 from ..modelcomp.quantization import QuantizerKernel, dequantize_int8, \
     QuantizedTensor
 from ..nn.modules import Module
-from .engine import LossFn, MixedPrecisionTrainer, StepResult, TrainingConfig
+from .engine import (LossFn, MixedPrecisionTrainer, StepResult,
+                     TrainingConfig, fault_bypass, fold_deprecated_kwarg,
+                     make_fault_injector)
 from .parallel import CSDWorkerPool, resolve_workers
 from .partition import Shard, distribute_shards
 from .stats import TrafficMeter
@@ -56,13 +58,25 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
     """Near-storage training engine over multiple functional SmartSSDs."""
 
     def __init__(self, model: Module, loss_fn: LossFn, storage_dir: str,
-                 num_csds: int = 1,
+                 num_csds: Optional[int] = None,
                  config: Optional[TrainingConfig] = None) -> None:
-        config = config or TrainingConfig()
+        config = fold_deprecated_kwarg(
+            config or TrainingConfig(), "num_csds", num_csds, "num_csds",
+            "SmartInfinityEngine")
         super().__init__(model, loss_fn, config)
+        num_csds = config.num_csds
         if num_csds < 1:
             raise TrainingError("need at least one CSD")
         os.makedirs(storage_dir, exist_ok=True)
+        self.faults = make_fault_injector(config)
+        self._closed = False
+
+        # Graceful-degradation bookkeeping: a demoted device's shard
+        # lives host-side in _host_shards (masters + optimizer states)
+        # and is updated by the CPU path from then on.
+        self.demotions: List[Tuple[int, str]] = []
+        self.degraded_steps = 0
+        self._host_shards: Dict[int, Dict[str, np.ndarray]] = {}
 
         self.shards: List[Shard] = distribute_shards(
             self.space.total_elements, num_csds)
@@ -71,66 +85,78 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         self.kernels: List[UpdaterKernel] = []
         self.decompressors: List[DecompressorKernel] = []
         self.feedback: List[Optional[ErrorFeedback]] = []
-        self.meter = TrafficMeter()
-        self._state_names = self.optimizer.state_names
-        # Per-device work is independent (disjoint shards, private files,
-        # private handlers), so offload and update fan out over a
-        # persistent worker pool; workers=1 is exactly the old
-        # sequential loop.
-        self.workers = resolve_workers(config.parallel_csds, num_csds)
-        self._pool = CSDWorkerPool(self.workers)
+        self._pool: Optional[CSDWorkerPool] = None
+        try:
+            self.meter = TrafficMeter()
+            self._state_names = self.optimizer.state_names
+            # Per-device work is independent (disjoint shards, private
+            # files, private handlers), so offload and update fan out
+            # over a persistent worker pool; workers=1 is exactly the old
+            # sequential loop.
+            self.workers = resolve_workers(config.parallel_csds, num_csds)
+            self._pool = CSDWorkerPool(self.workers)
 
-        masters = self.space.gather_params()
-        # §VIII-B extensions: pruning mask over the flat space, and the
-        # per-device CSD quantizer kernels for the upstream transfer.
-        self.pruning_mask: Optional[PruningMask] = None
-        if config.pruning_sparsity is not None:
-            self.pruning_mask = magnitude_mask(masters,
-                                               config.pruning_sparsity)
-        self.quantizers: List[Optional[QuantizerKernel]] = []
+            masters = self.space.gather_params()
+            # §VIII-B extensions: pruning mask over the flat space, and
+            # the per-device CSD quantizer kernels for the upstream
+            # transfer.
+            self.pruning_mask: Optional[PruningMask] = None
+            if config.pruning_sparsity is not None:
+                self.pruning_mask = magnitude_mask(masters,
+                                                   config.pruning_sparsity)
+            self.quantizers: List[Optional[QuantizerKernel]] = []
 
-        for shard in self.shards:
-            device = self._build_device(storage_dir, shard)
-            self.devices.append(device)
-            # Initial state placement (setup traffic, not metered).
-            shard_masters = masters[shard.start:shard.end]
-            device.store.write_array("master_params", shard_masters)
-            zero = np.zeros(shard.count, dtype=np.float32)
-            for name in self._state_names:
-                device.store.write_array(name, zero)
+            for shard in self.shards:
+                device = self._build_device(storage_dir, shard)
+                self.devices.append(device)
+                # Initial state placement (setup traffic, not metered and
+                # outside the fault domain).
+                with fault_bypass(self.faults):
+                    shard_masters = masters[shard.start:shard.end]
+                    device.store.write_array("master_params", shard_masters)
+                    zero = np.zeros(shard.count, dtype=np.float32)
+                    for name in self._state_names:
+                        device.store.write_array(name, zero)
 
-            kernel = UpdaterKernel(
-                self.optimizer,
-                chunk_elements=config.kernel_chunk_elements)
-            self.kernels.append(kernel)
-            self.decompressors.append(DecompressorKernel(
-                chunk_elements=config.kernel_chunk_elements))
+                kernel = UpdaterKernel(
+                    self.optimizer,
+                    chunk_elements=config.kernel_chunk_elements)
+                self.kernels.append(kernel)
+                self.decompressors.append(DecompressorKernel(
+                    chunk_elements=config.kernel_chunk_elements))
 
-            max_sub = min(config.subgroup_elements, shard.count)
-            if config.use_transfer_handler:
-                self.handlers.append(TransferHandler(
-                    device, self._state_names, max_sub))
-            else:
-                self.handlers.append(None)
+                max_sub = min(config.subgroup_elements, shard.count)
+                if config.use_transfer_handler:
+                    self.handlers.append(TransferHandler(
+                        device, self._state_names, max_sub))
+                else:
+                    self.handlers.append(None)
 
-            if config.compression_ratio is not None and config.error_feedback:
-                self.feedback.append(ErrorFeedback(shard.count))
-            else:
-                self.feedback.append(None)
+                if config.compression_ratio is not None \
+                        and config.error_feedback:
+                    self.feedback.append(ErrorFeedback(shard.count))
+                else:
+                    self.feedback.append(None)
 
-            if config.quantized_upstream:
-                group = config.quantization_group
-                chunk = max(group, (config.kernel_chunk_elements // group)
-                            * group)
-                self.quantizers.append(QuantizerKernel(
-                    group_size=group, chunk_elements=chunk))
-            else:
-                self.quantizers.append(None)
+                if config.quantized_upstream:
+                    group = config.quantization_group
+                    chunk = max(group,
+                                (config.kernel_chunk_elements // group)
+                                * group)
+                    self.quantizers.append(QuantizerKernel(
+                        group_size=group, chunk_elements=chunk))
+                else:
+                    self.quantizers.append(None)
 
-        working = masters.copy()
-        if self.pruning_mask is not None:
-            self.pruning_mask.apply(working)
-        self.space.install_fp16_params(working)
+            working = masters.copy()
+            if self.pruning_mask is not None:
+                self.pruning_mask.apply(working)
+            self.space.install_fp16_params(working)
+        except BaseException:
+            # A failed __init__ must release every device and thread
+            # already acquired — the caller never gets a handle to close.
+            self._release(abandon=True)
+            raise
 
     # ------------------------------------------------------------------
     # setup helpers
@@ -140,9 +166,11 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         config = self.config
         words = 2 + self.optimizer.states_per_param
         capacity = 4 * shard.count * words + shard.count + (2 << 20)
+        site = (self.faults.site(shard.device_id)
+                if self.faults is not None else None)
         device = SmartSSDDevice(
             os.path.join(storage_dir, f"csd{shard.device_id}.img"),
-            capacity, device_id=shard.device_id)
+            capacity, device_id=shard.device_id, fault_site=site)
         device.store.allocate("master_params", shard.count)
         for name in self._state_names:
             device.store.allocate(name, shard.count)
@@ -204,8 +232,9 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
                 self._apply_lr_schedule()
                 with telemetry.trace_span("update", workers=self.workers):
                     self._pool.map_ordered(
-                        lambda index: self._update_device(
-                            index, compressed_per_device[index]),
+                        lambda index: self._update_device_guarded(
+                            index, compressed_per_device[index],
+                            flat_grads),
                         range(self.num_csds))
 
             for device, (reads, writes) in zip(self.devices, snapshots):
@@ -232,6 +261,13 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         (``argpartition``) and the device write touch only that shard's
         slice, error-feedback residual and backing file, so the devices'
         offloads are independent.
+
+        Resilience: compression (which mutates the error-feedback
+        residual) happens exactly once, *before* any device I/O, so a
+        device failure during the write can reuse the already-computed
+        stream instead of recompressing — double-applying the residual
+        would break bit-identity.  A demoted device gets no I/O at all;
+        its compressed stream still feeds the host-CPU update path.
         """
         ratio = self.config.compression_ratio
 
@@ -242,22 +278,64 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
                     "offload_device", device=index,
                     worker=threading.current_thread().name):
                 shard_grads = flat_grads[shard.start:shard.end]
-                if ratio is None:
-                    device.host_write("grads", shard_grads)
-                    self.meter.add_host_write(4 * shard.count)
-                    return None
-                compressed = compress_with_feedback(
-                    shard_grads, self.feedback[index], ratio)
-                device.host_write("comp_indices", compressed.indices)
-                device.host_write("comp_values", compressed.values)
-                self.meter.add_host_write(compressed.nbytes)
+                compressed = None
+                if ratio is not None:
+                    compressed = compress_with_feedback(
+                        shard_grads, self.feedback[index], ratio)
+                if index in self._host_shards:
+                    return compressed
+                try:
+                    if compressed is None:
+                        device.host_write("grads", shard_grads)
+                        self.meter.add_host_write(4 * shard.count)
+                    else:
+                        device.host_write("comp_indices",
+                                          compressed.indices)
+                        device.host_write("comp_values", compressed.values)
+                        self.meter.add_host_write(compressed.nbytes)
+                except (DeviceFailedError, RetryExhaustedError) as exc:
+                    # No update was in flight, so the device holds a
+                    # consistent post-previous-step shard: demote now and
+                    # let the update phase run this step host-side.
+                    self._demote_device(index, exc)
                 return compressed
 
         return self._pool.map_ordered(offload_one, range(self.num_csds))
 
+    def _update_device_guarded(self, index: int,
+                               compressed: Optional[CompressedGradient],
+                               flat_grads: np.ndarray) -> None:
+        """Route one shard's update: near-storage, or host-CPU if demoted.
+
+        A permanent device failure (or an exhausted retry budget — the
+        next rung of the degradation ladder) during the near-storage pass
+        triggers demotion with exact recovery, so the step's result is
+        bit-identical to a fault-free run.
+        """
+        if index in self._host_shards:
+            self._host_update_shard(index, compressed, flat_grads)
+            return
+        committed_params: Set[int] = set()
+        committed_states: Set[Tuple[str, int]] = set()
+        try:
+            self._update_device(index, compressed, committed_params,
+                                committed_states)
+        except (DeviceFailedError, RetryExhaustedError) as exc:
+            self._demote_device(
+                index, exc,
+                in_flight=(compressed, flat_grads, committed_params,
+                           committed_states))
+
     def _update_device(self, index: int,
-                       compressed: Optional[CompressedGradient]) -> None:
-        """Near-storage update of one device's shard (Fig. 4b / Fig. 6b)."""
+                       compressed: Optional[CompressedGradient],
+                       committed_params: Set[int],
+                       committed_states: Set[Tuple[str, int]]) -> None:
+        """Near-storage update of one device's shard (Fig. 4b / Fig. 6b).
+
+        ``committed_params``/``committed_states`` collect which subgroup
+        slices durably reached the SSD, so a mid-pass device failure can
+        be recovered exactly (see :meth:`_recover_in_flight`).
+        """
         device = self.devices[index]
         shard = self.shards[index]
         handler = self.handlers[index]
@@ -268,9 +346,15 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         load_grads = self._make_grad_loader(index, compressed, subgroups)
 
         def on_params_written(subgroup: Subgroup) -> None:
+            # The urgent write-back just landed: record the commit before
+            # the upstream transfer, which may itself hit a fault.
+            committed_params.add(subgroup.start)
             with telemetry.trace_span("upstream_subgroup", device=index,
                                       subgroup=subgroup.index):
                 self._upstream_subgroup(index, subgroup)
+
+        def on_state_written(name: str, subgroup: Subgroup) -> None:
+            committed_states.add((name, subgroup.start))
 
         with telemetry.trace_span("device_update", device=index,
                                   subgroups=len(subgroups),
@@ -281,7 +365,172 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
             else:
                 naive_update_pass(device, subgroups, kernel,
                                   self.step_count, self._state_names,
-                                  load_grads, on_params_written)
+                                  load_grads, on_params_written,
+                                  on_state_written)
+
+    # ------------------------------------------------------------------
+    # graceful degradation (demotion to the host-CPU update path)
+    # ------------------------------------------------------------------
+    def _dense_shard_grads(self, index: int,
+                           compressed: Optional[CompressedGradient],
+                           flat_grads: np.ndarray) -> np.ndarray:
+        """The gradient vector the device's kernel would have consumed."""
+        shard = self.shards[index]
+        if compressed is None:
+            return flat_grads[shard.start:shard.end]
+        grads = np.zeros(shard.count, dtype=np.float32)
+        grads[compressed.indices] = compressed.values
+        return grads
+
+    def _demote_device(self, index: int, cause: BaseException,
+                       in_flight=None) -> None:
+        """Permanently move one device's shard to the host-CPU path.
+
+        Salvages the shard's masters and optimizer states off the failed
+        device's NVMe namespace (the emulated maintenance path — reads
+        bypass the fault domain), recovers any half-finished update pass
+        exactly, and from then on the shard updates like the paper's
+        baseline.  Training output stays bit-identical throughout.
+        """
+        device = self.devices[index]
+        shard = self.shards[index]
+        handler = self.handlers[index]
+        with telemetry.trace_span("engine.demote", device=index,
+                                  cause=type(cause).__name__):
+            if self.faults is not None:
+                # An exhausted retry budget demotes too: mark the device
+                # dead so any straggling I/O fails fast instead of
+                # burning more backoff time.
+                self.faults.fail_device(index, reason=str(cause))
+            committed_states: Set[Tuple[str, int]] = set()
+            if handler is not None:
+                # Join the lazy write-back worker; its commit log is
+                # final only after the join.
+                handler.abandon()
+                committed_states |= handler.state_commits
+            with fault_bypass(self.faults):
+                masters = device.store.read_array("master_params")
+                states = {name: device.store.read_array(name)
+                          for name in self._state_names}
+            if in_flight is not None:
+                compressed, flat_grads, committed_params, naive_states = \
+                    in_flight
+                committed_states |= naive_states
+                self._recover_in_flight(index, masters, states, compressed,
+                                        flat_grads, committed_params,
+                                        committed_states)
+            self._host_shards[index] = {"master_params": masters, **states}
+            if in_flight is not None:
+                # Refresh the FP16 working copy for the whole shard: some
+                # subgroups never upstreamed, and recovery may have
+                # changed masters for partially-written ones.  Re-install
+                # is idempotent for the rest.
+                max_sub = min(self.config.subgroup_elements, shard.count)
+                for subgroup in plan_subgroups(shard.count, max_sub):
+                    sl = slice(subgroup.start,
+                               subgroup.start + subgroup.count)
+                    self._install_host_subgroup(index, subgroup,
+                                                masters[sl])
+            self.demotions.append((index, str(cause)))
+            telemetry.counter("faults_demotions_total", device=index)
+            device.close()
+
+    def _recover_in_flight(self, index: int, masters: np.ndarray,
+                           states: Dict[str, np.ndarray],
+                           compressed: Optional[CompressedGradient],
+                           flat_grads: np.ndarray,
+                           committed_params: Set[int],
+                           committed_states: Set[Tuple[str, int]]) -> None:
+        """Finish a mid-pass-interrupted update exactly, on the host.
+
+        Per subgroup, the salvaged device data is in one of two shapes
+        (the urgent parameter write-back always precedes the lazy state
+        write-backs):
+
+        * params uncommitted — everything is pre-update: recompute the
+          whole subgroup from (pre-params, grads, pre-states);
+        * params committed — masters are post-update; recompute only the
+          state slices whose write-back never landed.  This is exact
+          because every optimizer here has param-independent state
+          transitions (momentum/variance/accumulator depend only on that
+          state and the gradient), so the post-state is reproducible
+          without the pre-params we no longer have.
+        """
+        shard = self.shards[index]
+        grads = self._dense_shard_grads(index, compressed, flat_grads)
+        max_sub = min(self.config.subgroup_elements, shard.count)
+        for subgroup in plan_subgroups(shard.count, max_sub):
+            sl = slice(subgroup.start, subgroup.start + subgroup.count)
+            params_done = subgroup.start in committed_params
+            if params_done and all(
+                    (name, subgroup.start) in committed_states
+                    for name in self._state_names):
+                continue
+            scratch_params = masters[sl].copy()
+            scratch_state = {name: states[name][sl].copy()
+                             for name in self._state_names}
+            self.optimizer.step(scratch_params, grads[sl], scratch_state,
+                                self.step_count)
+            if not params_done:
+                masters[sl] = scratch_params
+                for name in self._state_names:
+                    states[name][sl] = scratch_state[name]
+            else:
+                for name in self._state_names:
+                    if (name, subgroup.start) not in committed_states:
+                        states[name][sl] = scratch_state[name]
+
+    def _host_update_shard(self, index: int,
+                           compressed: Optional[CompressedGradient],
+                           flat_grads: np.ndarray) -> None:
+        """One degraded step: update a demoted shard on the host CPU.
+
+        The paper's baseline dataflow (Fig. 4a) applied to just this
+        shard, against host-resident state — same element-wise
+        arithmetic, so the trajectory stays bit-identical to the
+        fault-free run.
+        """
+        shard = self.shards[index]
+        host = self._host_shards[index]
+        masters = host["master_params"]
+        grads = self._dense_shard_grads(index, compressed, flat_grads)
+        max_sub = min(self.config.subgroup_elements, shard.count)
+        subgroups = plan_subgroups(shard.count, max_sub)
+        with telemetry.trace_span("device_update.degraded", device=index,
+                                  subgroups=len(subgroups),
+                                  worker=threading.current_thread().name):
+            for subgroup in subgroups:
+                sl = slice(subgroup.start,
+                           subgroup.start + subgroup.count)
+                state = {name: host[name][sl]
+                         for name in self._state_names}
+                self.optimizer.step(masters[sl], grads[sl], state,
+                                    self.step_count)
+                self._install_host_subgroup(index, subgroup, masters[sl])
+        self.degraded_steps += 1
+        telemetry.counter("faults_degraded_steps_total", device=index)
+
+    def _install_host_subgroup(self, index: int, subgroup: Subgroup,
+                               masters_slice: np.ndarray) -> None:
+        """Host-side twin of :meth:`_upstream_subgroup`'s install step.
+
+        Emulates the quantize -> dequantize upstream round-trip (exact:
+        the device path stores int8 values and float32 scales verbatim)
+        and the pruning mask, then refreshes the FP16 working copy.
+        """
+        shard = self.shards[index]
+        quantizer = self.quantizers[index]
+        global_start = shard.start + subgroup.start
+        if quantizer is None:
+            values = masters_slice
+            if self.pruning_mask is not None:
+                values = values.copy()
+        else:
+            values = dequantize_int8(quantizer.run(masters_slice))
+        if self.pruning_mask is not None:
+            self.pruning_mask.slice(global_start, subgroup.count).apply(
+                values)
+        self.space.install_fp16_slice(global_start, values)
 
     def _upstream_subgroup(self, index: int, subgroup: Subgroup) -> None:
         """Upstream one subgroup's updated parameters to the host.
@@ -388,13 +637,26 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         return load_compressed
 
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        self._pool.close()
+    def _release(self, abandon: bool = False) -> None:
+        """Release pool, handlers and devices (safe on partial state)."""
+        if self._pool is not None:
+            self._pool.close()
         for handler in self.handlers:
             if handler is not None:
-                handler.close()
+                if abandon:
+                    handler.abandon()
+                else:
+                    handler.close()
         for device in self.devices:
             device.close()
+
+    def close(self) -> None:
+        """Release every device/thread. Idempotent; demoted devices (and
+        their abandoned handlers) are already closed and are skipped."""
+        if self._closed:
+            return
+        self._closed = True
+        self._release()
 
     def __enter__(self) -> "SmartInfinityEngine":
         return self

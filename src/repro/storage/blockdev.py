@@ -79,13 +79,16 @@ class FileBlockDevice:
     """
 
     def __init__(self, path: str, capacity_bytes: int,
-                 name: Optional[str] = None) -> None:
+                 name: Optional[str] = None, fault_site=None) -> None:
         if capacity_bytes <= 0:
             raise StorageError("capacity must be positive")
         self.path = path
         self.capacity_bytes = capacity_bytes
         self.name = name or os.path.basename(path)
         self.counters = IOCounters()
+        # Optional FaultSite (see repro.faults): consulted before every
+        # pread/pwrite so an injected fault never leaves a partial write.
+        self.fault_site = fault_site
         self._closed = False
         # O_CREAT semantics: open existing or create sparse.
         self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
@@ -105,6 +108,8 @@ class FileBlockDevice:
     def pread(self, offset: int, length: int) -> bytes:
         """Read ``length`` bytes at ``offset``."""
         self._check_range(offset, length)
+        if self.fault_site is not None:
+            self.fault_site.guard("read")
         timed = telemetry.enabled()
         begin = time.perf_counter() if timed else 0.0
         data = os.pread(self._fd, length, offset)
@@ -123,6 +128,8 @@ class FileBlockDevice:
     def pwrite(self, offset: int, data: bytes) -> int:
         """Write ``data`` at ``offset``; returns bytes written."""
         self._check_range(offset, len(data))
+        if self.fault_site is not None:
+            self.fault_site.guard("write")
         timed = telemetry.enabled()
         begin = time.perf_counter() if timed else 0.0
         written = os.pwrite(self._fd, data, offset)
@@ -140,6 +147,10 @@ class FileBlockDevice:
 
     def flush(self) -> None:
         os.fsync(self._fd)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def close(self) -> None:
         if not self._closed:

@@ -4,13 +4,24 @@ The baseline configuration of the paper runs ZeRO-Infinity over a software
 RAID0 of the SmartSSDs' plain NVMe namespaces.  This module implements the
 striping arithmetic over :class:`FileBlockDevice` members so the functional
 baseline reads/writes through the same address-splitting path.
+
+Failure model: RAID0 has no redundancy, so a *permanent* member failure is
+unrecoverable in-place — exactly like a real mdadm stripe.  When a member
+raises :class:`~repro.errors.DeviceFailedError` (or exhausts its transient
+retry budget), the volume enters *degraded mode*: the failed member is
+recorded, and every subsequent I/O fails fast with a
+:class:`~repro.errors.DeviceFailedError` that names the member and the
+recovery story (restore from checkpoint onto a rebuilt volume).  Transient
+member faults are already retried inside the member's own fault guard and
+never surface here.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from ..errors import StorageError
+from .. import telemetry
+from ..errors import DeviceFailedError, RetryExhaustedError, StorageError
 from .blockdev import FileBlockDevice, IOCounters
 
 
@@ -30,6 +41,38 @@ class RAID0Volume:
         self.chunk_bytes = chunk_bytes
         self.capacity_bytes = members[0].capacity_bytes * len(members)
         self.name = f"raid0[{len(members)}]"
+        self._failed_member: Optional[int] = None
+        self._failed_cause: Optional[BaseException] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True once a member has permanently failed (fail-stop mode)."""
+        return self._failed_member is not None
+
+    @property
+    def failed_members(self) -> Tuple[int, ...]:
+        if self._failed_member is None:
+            return ()
+        return (self._failed_member,)
+
+    def _check_degraded(self) -> None:
+        if self._failed_member is not None:
+            member = self.members[self._failed_member]
+            raise DeviceFailedError(
+                f"{self.name} is degraded: member {member.name} "
+                f"(index {self._failed_member}) failed permanently "
+                f"({self._failed_cause}). RAID0 stripes without redundancy, "
+                f"so the volume cannot serve I/O; replace the member, "
+                f"rebuild the volume, and restore from the latest "
+                f"checkpoint (repro.runtime.checkpoint).",
+                device=self._failed_member)
+
+    def _member_failed(self, index: int, cause: BaseException) -> None:
+        if self._failed_member is None:
+            self._failed_member = index
+            self._failed_cause = cause
+            telemetry.counter("raid_degraded_total", volume=self.name,
+                              member=self.members[index].name)
 
     def _map(self, offset: int) -> Tuple[int, int, int]:
         """Map a volume offset to (member index, member offset, bytes left
@@ -50,14 +93,19 @@ class RAID0Volume:
     def pread(self, offset: int, length: int) -> bytes:
         """Read ``length`` bytes, gathering across stripe chunks."""
         self._check(offset, length)
+        self._check_degraded()
         parts: List[bytes] = []
         position = offset
         remaining = length
         while remaining > 0:
             member_index, member_offset, in_chunk = self._map(position)
             take = min(remaining, in_chunk)
-            parts.append(self.members[member_index].pread(
-                member_offset, take))
+            try:
+                parts.append(self.members[member_index].pread(
+                    member_offset, take))
+            except (DeviceFailedError, RetryExhaustedError) as exc:
+                self._member_failed(member_index, exc)
+                self._check_degraded()
             position += take
             remaining -= take
         return b"".join(parts)
@@ -65,13 +113,18 @@ class RAID0Volume:
     def pwrite(self, offset: int, data: bytes) -> int:
         """Write ``data``, scattering across stripe chunks."""
         self._check(offset, len(data))
+        self._check_degraded()
         position = offset
         cursor = 0
         while cursor < len(data):
             member_index, member_offset, in_chunk = self._map(position)
             take = min(len(data) - cursor, in_chunk)
-            self.members[member_index].pwrite(
-                member_offset, data[cursor:cursor + take])
+            try:
+                self.members[member_index].pwrite(
+                    member_offset, data[cursor:cursor + take])
+            except (DeviceFailedError, RetryExhaustedError) as exc:
+                self._member_failed(member_index, exc)
+                self._check_degraded()
             position += take
             cursor += take
         return len(data)
