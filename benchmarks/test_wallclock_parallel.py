@@ -10,26 +10,36 @@ is bit-identity, traffic identity, and the SmartComp stream-cache
 reduction.
 
 Run directly (``pytest benchmarks/test_wallclock_parallel.py -s``) or
-via ``python -m repro bench``; both write the same JSON schema.
+via ``python -m repro bench --compare``; both append an entry to the
+``results/BENCH_parallel.json`` history (the bench trajectory the
+``--compare`` regression gate reads).
 """
 
-import json
 import os
 
 from repro.runtime.bench import SCHEMA, run_parallel_bench
+from repro.runtime.bench_history import (HISTORY_SCHEMA, append_entry,
+                                         entry_from_report, load_history,
+                                         save_history)
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 def test_wallclock_parallel_bench(save_result):
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    out_path = os.path.join(RESULTS_DIR, "BENCH_parallel.json")
-    report = run_parallel_bench(quick=False, out_path=out_path,
-                                csd_counts=(1, 2, 4), steps=3)
+    history_path = os.path.join(RESULTS_DIR, "BENCH_parallel.json")
+    report = run_parallel_bench(quick=False, csd_counts=(1, 2, 4),
+                                steps=3)
 
     assert report["schema"] == SCHEMA
-    with open(out_path) as handle:
-        assert json.load(handle)["schema"] == SCHEMA
+
+    # Append this run to the bench trajectory (the same history file
+    # ``python -m repro bench --compare`` gates against) instead of
+    # clobbering it with a single report.
+    history = load_history(history_path)
+    append_entry(history, entry_from_report(report))
+    save_history(history_path, history)
+    assert load_history(history_path)["schema"] == HISTORY_SCHEMA
 
     # Bit-identity holds regardless of core count: for each CSD count,
     # sequential and parallel trained the same parameters and moved the

@@ -1,12 +1,16 @@
 """Command-line interface.
 
-Seven subcommands:
+Eight subcommands:
 
 * ``list-models`` — print the analytic model zoo (names, sizes, shapes).
 * ``simulate`` — run one DES training-iteration configuration and print
   its phase breakdown and speedup over the baseline.
 * ``analyze`` — per-channel bottleneck attribution for every method on
   one machine, optionally with an ASCII occupancy timeline.
+* ``top`` — the bottleneck observatory dashboard: per-link utilization
+  bars, the phase x resource ownership table, and a bottleneck verdict,
+  over a fresh simulation or a finished trace file (``--trace``);
+  ``--once`` renders a single frame, otherwise it refreshes live.
 * ``sweep`` — sweep one axis (devices / model / ratio) and tabulate the
   resulting speedups.
 * ``experiment`` — regenerate any paper table or figure by id.
@@ -15,20 +19,26 @@ Seven subcommands:
   from a functional-engine proxy run.
 * ``bench`` — measure real wall-clock steps/s through the functional
   Smart-Infinity engine, sequential vs thread-pooled multi-CSD, and
-  write ``BENCH_parallel.json``.
+  write ``BENCH_parallel.json``; ``--compare`` appends to a history
+  file and fails on a throughput regression.
 
 Examples::
 
     python -m repro list-models
     python -m repro simulate --model gpt2-8.4b --csds 10 --method su_o_c
     python -m repro analyze --model gpt2-8.4b --csds 10 --timeline
+    python -m repro top --once --model gpt2-4.0b --csds 10
+    python -m repro top --once --trace gpt2-4.0b-su_o_c.trace.json
     python -m repro sweep devices --model gpt2-4.0b
     python -m repro experiment fig9
     python -m repro trace --model gpt2-4.0b --csds 6 --method su_o_c
     python -m repro bench --quick --out BENCH_parallel.json
+    python -m repro bench --quick --compare
 
 ``simulate`` and ``analyze`` accept ``--metrics`` to print a
-Prometheus-style exposition of per-channel counters and gauges.
+Prometheus-style exposition of per-channel counters and gauges; ``top``
+extends it with the attribution series and can also write a structured
+JSONL event log (``--jsonl``).
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ from __future__ import annotations
 import argparse
 import sys
 import tempfile
+import time
 from typing import List, Optional
 
 from . import telemetry
@@ -91,6 +102,31 @@ def _build_parser() -> argparse.ArgumentParser:
                               "per-channel metrics for baseline and "
                               "SU+O+C")
 
+    top = commands.add_parser(
+        "top", help="bottleneck observatory: per-link utilization, "
+                    "phase x resource ownership, verdict")
+    top.add_argument("--trace", default=None, metavar="TRACE_JSON",
+                     help="attribute a finished Chrome trace-event file "
+                          "instead of running a fresh simulation")
+    top.add_argument("--model", default="gpt2-4.0b")
+    top.add_argument("--csds", type=int, default=10)
+    top.add_argument("--method", default="su_o_c",
+                     choices=METHODS + EXTENSION_METHODS)
+    top.add_argument("--gpu", default="a5000", choices=sorted(_GPUS))
+    top.add_argument("--ratio", type=float, default=0.02,
+                     help="SmartComp volume ratio")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (default: refresh "
+                          "live every --interval seconds until Ctrl-C)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="live refresh period in seconds (default 2)")
+    top.add_argument("--jsonl", default=None, metavar="EVENTS_JSONL",
+                     help="also write the attribution as a structured "
+                          "JSONL event log")
+    top.add_argument("--metrics", action="store_true",
+                     help="also print the Prometheus-style exposition "
+                          "of the attribution series")
+
     trace = commands.add_parser(
         "trace", help="export a Chrome trace-event JSON for Perfetto")
     trace.add_argument("--model", default="gpt2-4.0b")
@@ -145,6 +181,19 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default="BENCH_parallel.json",
                        help="JSON report path (default "
                             "BENCH_parallel.json)")
+    bench.add_argument("--compare", action="store_true",
+                       help="append this run to the bench history and "
+                            "fail (exit 1) if throughput regressed "
+                            "beyond the threshold vs the matching "
+                            "baseline")
+    bench.add_argument("--history",
+                       default="benchmarks/results/BENCH_parallel.json",
+                       help="bench history file for --compare (default "
+                            "benchmarks/results/BENCH_parallel.json)")
+    bench.add_argument("--regression-threshold", type=float, default=0.2,
+                       metavar="FRACTION",
+                       help="relative steps/s drop that fails the gate "
+                            "(default 0.2 = 20%%)")
     _add_fault_flags(bench)
     return parser
 
@@ -242,6 +291,41 @@ def _cmd_analyze(args) -> int:
             telemetry.record_channel_metrics(
                 registry, trace.fabric.all_channels(),
                 horizon=trace.breakdown.total, method=method)
+        print(registry.render_prometheus(), end="")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    def build():
+        if args.trace is not None:
+            return telemetry.load_chrome_trace(args.trace)
+        return telemetry.profile_scenario(
+            model=args.model, csds=args.csds, method=args.method,
+            gpu=args.gpu, ratio=args.ratio)
+
+    report = build()
+    if args.once:
+        print(telemetry.render_top(report))
+    else:
+        # Live mode: rebuild (re-reading a --trace file, so a file being
+        # rewritten by a concurrent run updates the view) and redraw
+        # until interrupted.
+        try:
+            while True:
+                print("\x1b[2J\x1b[H" + telemetry.render_top(report),
+                      flush=True)
+                time.sleep(args.interval)
+                report = build()
+        except KeyboardInterrupt:
+            print()
+    if args.jsonl is not None:
+        telemetry.write_events_jsonl(args.jsonl, report)
+        print(f"[attribution events: {args.jsonl}]")
+    if args.metrics:
+        registry = telemetry.MetricsRegistry()
+        telemetry.record_attribution_metrics(
+            registry, report.attribution, source=report.source)
+        print()
         print(registry.render_prometheus(), end="")
     return 0
 
@@ -360,6 +444,24 @@ def _cmd_bench(args) -> int:
                                 fault_plan=_resolve_fault_plan(args))
     print(render_report(report))
     print(f"[saved to {args.out}]")
+    if args.compare:
+        from .runtime.bench_history import (append_entry,
+                                            compare_to_history,
+                                            entry_from_report,
+                                            load_history, save_history)
+        history = load_history(args.history)
+        entry = entry_from_report(report)
+        # Compare against the history *before* appending, so the run
+        # never gates against itself.
+        comparison = compare_to_history(
+            entry, history, threshold=args.regression_threshold)
+        append_entry(history, entry)
+        save_history(args.history, history)
+        print(comparison.render())
+        print(f"[history: {args.history}, "
+              f"{len(history['entries'])} entries]")
+        if not comparison.ok:
+            return 1
     return 0
 
 
@@ -385,6 +487,7 @@ _HANDLERS = {
     "sweep": _cmd_sweep,
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
+    "top": _cmd_top,
     "experiment": _cmd_experiment,
     "trace": _cmd_trace,
     "bench": _cmd_bench,

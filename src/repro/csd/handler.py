@@ -137,7 +137,8 @@ class TransferHandler:
             # worker loop, the case the context-manager form cannot cover.
             token = telemetry.span_begin(
                 "handler.lazy_writeback", device=self.device.device_id,
-                region=name, elements=count)
+                region=name, elements=count,
+                resource=f"ssd{self.device.device_id}-write")
             begin = time.perf_counter() if token is not None else 0.0
             try:
                 if self._writer_error is None:
@@ -201,7 +202,9 @@ class TransferHandler:
                 # Load phase.  Parameters/gradients can load immediately
                 # (their buffers were freed by the urgent write-back); each
                 # state buffer must wait for its lazy write-back to drain.
-                with telemetry.trace_span("handler.load"):
+                with telemetry.trace_span(
+                        "handler.load",
+                        resource=f"ssd{self.device.device_id}-read"):
                     params = self.device.p2p_read_into(
                         self.URGENT, subgroup.start,
                         self.buffers[self.URGENT], subgroup.count)
@@ -216,7 +219,9 @@ class TransferHandler:
                 # Update phase on the FPGA.  The fault guard fires before
                 # the kernel touches DRAM, so a retried (stalled) pass
                 # still mutates state exactly once.
-                with telemetry.trace_span("handler.kernel"):
+                with telemetry.trace_span(
+                        "handler.kernel",
+                        resource=f"csd{self.device.device_id}-updater"):
                     self.device.fault_guard("kernel")
                     kernel.run(params, grads, state, step_num)
 
@@ -329,7 +334,10 @@ def naive_update_pass(
                 for name in state_names
             }
             device.fault_guard("kernel")
-            kernel.run(params, grads, state, step_num)
+            with telemetry.trace_span(
+                    "naive.kernel",
+                    resource=f"csd{device.device_id}-updater"):
+                kernel.run(params, grads, state, step_num)
             device.p2p_write_from("master_params", subgroup.start,
                                   buffers["master_params"], subgroup.count)
             if on_params_written is not None:

@@ -11,7 +11,7 @@ emulator must also be fast enough not to distort functional experiments).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict
 
 import numpy as np
@@ -31,6 +31,10 @@ class Fig14Result:
 
     modelled: Dict[str, float]
     measured: Dict[str, float]
+    #: Device-pipeline busy fractions from an attributed SU+O+C
+    #: iteration: the utilization consequence of the bandwidth claim
+    #: (the FPGA engines stay below the NAND channels).
+    pipeline: Dict[str, float] = field(default_factory=dict)
 
     def updater_exceeds_ssd(self) -> bool:
         return (self.modelled["updater"] > self.modelled["ssd_read"]
@@ -38,6 +42,16 @@ class Fig14Result:
 
     def decompressor_covers_read(self) -> bool:
         return self.modelled["decompressor"] >= self.modelled["ssd_read"]
+
+    def modules_never_gate(self) -> bool:
+        """In the attributed run, neither FPGA engine is busier than
+        the NAND read channel — storage, not compute, gates the
+        pipeline (the figure's conclusion)."""
+        if not self.pipeline:
+            return True
+        nand = self.pipeline.get("ssd0-read", 0.0)
+        return (self.pipeline.get("csd0-updater", 0.0) <= nand
+                and self.pipeline.get("csd0-decompressor", 0.0) <= nand)
 
     def render(self) -> str:
         rows = [(name, f"{value / GB:.2f} GB/s")
@@ -49,7 +63,15 @@ class Fig14Result:
         part_b = render_table(
             ("functional kernel", "throughput on this host"), rows_b,
             title="Functional emulator throughput (numpy)")
-        return part_a + "\n\n" + part_b
+        parts = [part_a, part_b]
+        if self.pipeline:
+            rows_c = [(name, f"{value:.1%}")
+                      for name, value in sorted(self.pipeline.items())]
+            parts.append(render_table(
+                ("device channel/engine", "busy fraction of step"),
+                rows_c,
+                title="Attributed SU+O+C pipeline occupancy (device 0)"))
+        return "\n\n".join(parts)
 
 
 def _measure_updater(num_elements: int = 1 << 21,
@@ -85,6 +107,28 @@ def _measure_decompressor(num_elements: int = 1 << 21,
     return 4 * num_elements * repeats / elapsed
 
 
+def _attributed_pipeline(model: str = "gpt2-4.0b",
+                         num_csds: int = 10) -> Dict[str, float]:
+    """Busy fraction of device 0's channels in an attributed SU+O+C
+    iteration — the occupancy view of the figure's bandwidth claim."""
+    from ..hw.topology import default_system
+    from ..nn.models import get_model
+    from ..perf.scenarios import trace_scenario
+    from ..perf.workload import make_workload
+    from ..telemetry.attrib import attribute_channels
+
+    workload = make_workload(get_model(model))
+    system = default_system(num_csds=num_csds)
+    trace = trace_scenario(system, workload, "su_o_c")
+    attribution = attribute_channels(
+        trace.phase_windows, trace.fabric.all_channels(),
+        horizon=trace.breakdown.total)
+    wanted = ("ssd0-read", "ssd0-write", "csd0-updater",
+              "csd0-decompressor")
+    return {name: attribution.usage[name].utilization
+            for name in wanted if name in attribution.usage}
+
+
 def run(measure: bool = True) -> Fig14Result:
     """Regenerate Fig. 14's comparison."""
     csd = smartssd()
@@ -98,7 +142,8 @@ def run(measure: bool = True) -> Fig14Result:
     if measure:
         measured["updater"] = _measure_updater()
         measured["decompressor"] = _measure_decompressor()
-    return Fig14Result(modelled=modelled, measured=measured)
+    return Fig14Result(modelled=modelled, measured=measured,
+                       pipeline=_attributed_pipeline())
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

@@ -190,6 +190,35 @@ class FaultPlan:
         ))
 
 
+#: HELP text for the fault metric families (Prometheus exposition).
+_FAULT_METRIC_HELP = {
+    "faults_injected_total": "Faults injected by the chaos plan, by kind.",
+    "faults_retries_total": "Guarded operations retried after a "
+                            "transient fault.",
+    "faults_retry_exhausted_total": "Retry budgets exhausted (device "
+                                    "treated as failed).",
+    "faults_backoff_seconds_total": "Seconds slept in retry backoff.",
+    "faults_latency_seconds_total": "Seconds stalled by injected "
+                                    "latency spikes.",
+    "faults_dropouts_total": "Devices permanently dropped off the bus.",
+}
+
+
+def _fault_counter(name: str, amount: float = 1.0,
+                   **labels: object) -> None:
+    """Increment a fault counter in the active telemetry session.
+
+    Chaos accounting lands in the same exposition as everything else —
+    one scrape shows channel traffic, attribution, and fault activity
+    side by side.  No-op when telemetry is off.
+    """
+    session = telemetry.active()
+    if session is None:
+        return
+    session.registry.describe(name, _FAULT_METRIC_HELP[name])
+    session.registry.counter(name, **labels).inc(amount)
+
+
 @dataclass
 class FaultStats:
     """Cumulative, thread-safe accounting of everything the injector did."""
@@ -308,6 +337,7 @@ class FaultInjector:
                 state.dead = True
                 state.dead_reason = reason
                 self.stats.count_dropout()
+                _fault_counter("faults_dropouts_total", device=device_id)
 
     # ------------------------------------------------------------------
     # the hot path
@@ -344,13 +374,15 @@ class FaultInjector:
                         continue
                 state.fires[index] = state.fires.get(index, 0) + 1
                 self.stats.count_injection(rule.kind)
-                telemetry.counter("faults_injected_total", kind=rule.kind,
-                                  device=device_id, op=op)
+                _fault_counter("faults_injected_total", kind=rule.kind,
+                               device=device_id, op=op)
                 if rule.kind == "device_dropout":
                     state.dead = True
                     state.dead_reason = (
                         f"injected dropout at op {state.op_index}")
                     self.stats.count_dropout()
+                    _fault_counter("faults_dropouts_total",
+                                   device=device_id)
                     raise DeviceFailedError(
                         f"device {device_id} dropped out "
                         f"(injected at op {state.op_index})",
@@ -362,6 +394,8 @@ class FaultInjector:
                 break
         if stall > 0.0:
             self.stats.count_latency(stall)
+            _fault_counter("faults_latency_seconds_total", stall,
+                           device=device_id, op=op)
             with telemetry.trace_span("fault.latency_spike",
                                       device=device_id, op=op,
                                       seconds=stall):
@@ -393,15 +427,17 @@ class FaultInjector:
                 delay = next(delays, None)
                 if delay is None:
                     self.stats.count_exhausted()
-                    telemetry.counter("faults_retry_exhausted_total",
-                                      device=device_id, op=op)
+                    _fault_counter("faults_retry_exhausted_total",
+                                   device=device_id, op=op)
                     raise RetryExhaustedError(
                         f"device {device_id} op {op}: {attempts} attempts "
                         f"exhausted; last fault: {fault}",
                         attempts=attempts, last_fault=fault) from fault
                 self.stats.count_retry(delay)
-                telemetry.counter("faults_retries_total",
-                                  device=device_id, op=op)
+                _fault_counter("faults_retries_total",
+                               device=device_id, op=op)
+                _fault_counter("faults_backoff_seconds_total", delay,
+                               device=device_id, op=op)
                 with telemetry.trace_span("fault.backoff",
                                           device=device_id, op=op,
                                           attempt=attempts,

@@ -13,24 +13,14 @@ narrative, per method:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..hw.topology import SystemSpec
-from ..sim.resources import Channel
 from ..sim.trace import (ChannelSummary, summarize_channels,
                          traffic_by_tag)
-from .fabric import Fabric
-from .scenarios import PhaseBreakdown, run_scenario
+from ..telemetry.attrib import Attribution, attribute_channels
+from .scenarios import PhaseBreakdown, trace_scenario
 from .workload import Workload
-
-
-def _all_channels(fabric: Fabric) -> List[Channel]:
-    channels = [fabric.link_up, fabric.link_down, fabric.cpu,
-                fabric.bounce]
-    for device in fabric.devices:
-        channels.extend([device.nand_read, device.nand_write,
-                         device.fpga_updater, device.fpga_decompressor])
-    return channels
 
 
 @dataclass(frozen=True)
@@ -41,6 +31,8 @@ class IterationAnalysis:
     breakdown: PhaseBreakdown
     channels: List[ChannelSummary]
     tag_bytes: Dict[str, float]
+    #: Phase x resource decomposition (buckets tile the step exactly).
+    attribution: Optional[Attribution] = None
 
     @property
     def bottleneck(self) -> ChannelSummary:
@@ -68,6 +60,8 @@ class IterationAnalysis:
                 f"  {summary.name:<22} busy {summary.busy_time:6.2f}s  "
                 f"util {summary.utilization:6.1%}  "
                 f"{summary.bytes_total / 1e9:8.2f} GB")
+        if self.attribution is not None:
+            lines.append("  " + self.attribution.verdict().render())
         return "\n".join(lines)
 
 
@@ -75,14 +69,16 @@ def analyze_iteration(system: SystemSpec, workload: Workload, method: str,
                       compression_ratio: float = 0.02
                       ) -> IterationAnalysis:
     """Run one scenario and attribute time to channels."""
-    breakdown, fabric = run_scenario(
+    trace = trace_scenario(
         system, workload, method, compression_ratio=compression_ratio)
-    channels = _all_channels(fabric)
+    channels = trace.fabric.all_channels()
     return IterationAnalysis(
         method=method,
-        breakdown=breakdown,
+        breakdown=trace.breakdown,
         channels=summarize_channels(channels),
         tag_bytes=traffic_by_tag(channels),
+        attribution=attribute_channels(trace.phase_windows, channels,
+                                       horizon=trace.breakdown.total),
     )
 
 

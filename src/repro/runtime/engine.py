@@ -372,7 +372,10 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
             # Gradient offload happens during backward, before the overflow
             # verdict is known (the real engine streams them out eagerly).
             with telemetry.trace_span("grad_offload"):
-                self.store.write_array("grads", flat_grads)
+                with telemetry.trace_span("grad_offload.write",
+                                          resource="host-link-down",
+                                          nbytes=4 * flat_grads.size):
+                    self.store.write_array("grads", flat_grads)
                 self.meter.add_host_write(4 * flat_grads.size)
 
             proceed = self.scaler.update(overflow)
@@ -397,7 +400,8 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
         for start in range(0, total, size):
             count = min(size, total - start)
             with telemetry.trace_span("cpu_update.block", start=start,
-                                      elements=count):
+                                      elements=count,
+                                      resource="host-cpu"):
                 grads = self.store.read_slice("grads", start, count)
                 masters = self.store.read_slice("master_params", start,
                                                 count)

@@ -89,7 +89,9 @@ class HostOffloadEngine(MixedPrecisionTrainer):
                 self.step_count += 1
                 self._apply_lr_schedule()
                 with telemetry.trace_span("update"):
-                    self._cpu_update(flat_grads)
+                    with telemetry.trace_span("host_update",
+                                              resource="host-cpu"):
+                        self._cpu_update(flat_grads)
             traffic = self.meter.end_iteration()
             self.loss_history.append(loss)
             span.set(step=self.step_count, loss=loss, overflow=overflow)

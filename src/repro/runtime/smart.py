@@ -276,6 +276,7 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
             shard = self.shards[index]
             with telemetry.trace_span(
                     "offload_device", device=index,
+                    resource="host-link-down",
                     worker=threading.current_thread().name):
                 shard_grads = flat_grads[shard.start:shard.end]
                 compressed = None
@@ -350,7 +351,8 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
             # the upstream transfer, which may itself hit a fault.
             committed_params.add(subgroup.start)
             with telemetry.trace_span("upstream_subgroup", device=index,
-                                      subgroup=subgroup.index):
+                                      subgroup=subgroup.index,
+                                      resource="host-link-up"):
                 self._upstream_subgroup(index, subgroup)
 
         def on_state_written(name: str, subgroup: Subgroup) -> None:
@@ -498,6 +500,7 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         subgroups = plan_subgroups(shard.count, max_sub)
         with telemetry.trace_span("device_update.degraded", device=index,
                                   subgroups=len(subgroups),
+                                  resource="host-cpu",
                                   worker=threading.current_thread().name):
             for subgroup in subgroups:
                 sl = slice(subgroup.start,

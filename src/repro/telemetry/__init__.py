@@ -10,7 +10,13 @@ repository (the question the paper's whole evaluation answers):
   histograms with a ``snapshot()`` dict and Prometheus text exposition;
 * :mod:`~repro.telemetry.export` — Chrome trace-event JSON rendering of
   both wall-clock spans *and* sim-time DES transfer records / phase
-  windows, loadable in Perfetto as two processes in one file.
+  windows, loadable in Perfetto as two processes in one file;
+* :mod:`~repro.telemetry.attrib` — phase x resource attribution:
+  per-link busy windows decomposed into buckets that tile the step
+  exactly, plus the bottleneck verdict;
+* :mod:`~repro.telemetry.profiler` — the bottleneck observatory built
+  on attrib: ``repro top`` rendering, Chrome-trace re-import, JSONL
+  event log, and attribution metrics recording.
 
 Telemetry is **off by default** and guaranteed non-perturbing: every
 instrumented call site goes through the module-level helpers below,
@@ -43,15 +49,36 @@ import contextlib
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from .attrib import (Attribution, BottleneckVerdict, COMPUTE,
+                     ResourceUsage, attribute, attribute_channels,
+                     attribute_spans, merge_intervals)
 from .export import (channels_to_records, chrome_trace, phase_events,
                      record_channel_metrics, record_events, span_events,
                      write_chrome_trace)
 from .metrics import (Counter, Gauge, Histogram, LATENCY_BUCKETS_US,
                       MetricsRegistry, SIZE_BUCKETS_BYTES)
+from .profiler import (EVENTS_SCHEMA, ProfileReport, load_chrome_trace,
+                       profile_scenario, record_attribution_metrics,
+                       render_top, write_events_jsonl)
 from .spans import NULL_SPAN, Span, SpanToken, SpanTracer
 
 __all__ = [
+    "Attribution",
+    "BottleneckVerdict",
+    "COMPUTE",
     "Counter",
+    "EVENTS_SCHEMA",
+    "ProfileReport",
+    "ResourceUsage",
+    "attribute",
+    "attribute_channels",
+    "attribute_spans",
+    "load_chrome_trace",
+    "merge_intervals",
+    "profile_scenario",
+    "record_attribution_metrics",
+    "render_top",
+    "write_events_jsonl",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS_US",

@@ -36,10 +36,27 @@ def _labelset(labels: Dict[str, object]) -> LabelSet:
     return tuple(sorted((key, str(value)) for key, value in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the Prometheus text exposition format.
+
+    Label values escape backslash, double-quote, and newline; anything
+    else passes through verbatim.
+    """
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escapes only backslash and newline (not quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(labels: LabelSet) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    body = ",".join(f'{key}="{_escape_label_value(value)}"'
+                    for key, value in labels)
     return "{" + body + "}"
 
 
@@ -119,9 +136,15 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
         self._counters: Dict[Tuple[str, LabelSet], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelSet], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelSet], Histogram] = {}
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach HELP text to a metric family (any time, idempotent)."""
+        with self._lock:
+            self._help[name] = help_text
 
     def _claim(self, name: str, kind: str) -> None:
         seen = self._kinds.setdefault(name, kind)
@@ -185,13 +208,22 @@ class MetricsRegistry:
         return result
 
     def render_prometheus(self) -> str:
-        """Prometheus text exposition (counters, gauges, histograms)."""
+        """Prometheus text exposition (counters, gauges, histograms).
+
+        Every family gets ``# HELP`` and ``# TYPE`` header lines (the
+        HELP text defaults to a generated description unless
+        :meth:`describe` set one), and label values are escaped per the
+        exposition format.
+        """
         lines: List[str] = []
         typed: set = set()
 
         def _type_line(name: str, kind: str) -> None:
             if name not in typed:
                 typed.add(name)
+                help_text = self._help.get(
+                    name, f"repro {kind} {name} (no description)")
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
                 lines.append(f"# TYPE {name} {kind}")
 
         with self._lock:

@@ -150,3 +150,43 @@ def test_simulate_metrics_prints_exposition(capsys):
     out = capsys.readouterr().out
     assert "# TYPE des_channel_bytes_total counter" in out
     assert "des_channel_utilization" in out
+
+
+def test_top_once_sim_mode_prints_verdict(capsys):
+    assert main(["top", "--once", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--method", "su"]) == 0
+    out = capsys.readouterr().out
+    assert "bottleneck observatory" in out
+    assert "bottleneck:" in out
+    assert "occupied" in out
+    assert "phase x resource ownership" in out
+    # The sim trace's phases all appear in the ownership table.
+    for phase in ("forward", "backward_grad", "update"):
+        assert phase in out
+
+
+def test_top_once_trace_mode_attributes_finished_trace(tmp_path, capsys):
+    trace_path = str(tmp_path / "t.trace.json")
+    assert main(["trace", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--skip-functional", "--out", trace_path]) == 0
+    capsys.readouterr()
+    assert main(["top", "--once", "--trace", trace_path]) == 0
+    out = capsys.readouterr().out
+    assert "trace:" in out
+    assert "bottleneck:" in out
+    assert "host-link-down" in out
+
+
+def test_top_once_jsonl_and_metrics(tmp_path, capsys):
+    import json
+    events_path = str(tmp_path / "events.jsonl")
+    assert main(["top", "--once", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--jsonl", events_path, "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert f"[attribution events: {events_path}]" in out
+    assert "# TYPE attrib_step_seconds gauge" in out
+    assert "# HELP attrib_resource_utilization" in out
+    assert 'source="sim"' in out
+    with open(events_path) as handle:
+        first = json.loads(handle.readline())
+    assert first["schema"] == "smart-infinity/attrib/v1"

@@ -215,6 +215,46 @@ def test_prometheus_exposition_format():
     assert text.count("# TYPE reads_total counter") == 1
 
 
+def test_exposition_escapes_label_values():
+    # Prometheus exposition format: backslash, double-quote and newline
+    # must be escaped inside quoted label values.
+    registry = MetricsRegistry()
+    registry.counter("ops_total", path='dir\\file "v1"\nnext').inc(1)
+    text = registry.render_prometheus()
+    assert r'path="dir\\file \"v1\"\nnext"' in text
+    assert '\nnext' not in text.split("ops_total", 1)[1].split("\n", 1)[0]
+
+
+def test_exposition_emits_help_lines():
+    registry = MetricsRegistry()
+    registry.describe("reads_total", 'Reads issued ("guarded")\nper device.')
+    registry.counter("reads_total", device="ssd0").inc(1)
+    registry.gauge("depth").set(2)
+    text = registry.render_prometheus()
+    # Described metric: the given text, with newlines escaped, on one line.
+    assert ('# HELP reads_total Reads issued ("guarded")\\nper device.'
+            in text)
+    # Undescribed metric: a placeholder HELP line, never a missing one.
+    assert "# HELP depth" in text
+    for line in text.splitlines():
+        if line.startswith("# TYPE"):
+            name = line.split()[2]
+            assert f"# HELP {name} " in text
+    # HELP precedes TYPE for each family.
+    assert text.index("# HELP reads_total") < text.index(
+        "# TYPE reads_total")
+
+
+def test_describe_latest_text_wins():
+    registry = MetricsRegistry()
+    registry.describe("x_total", "first")
+    registry.describe("x_total", "second")
+    registry.counter("x_total").inc(1)
+    text = registry.render_prometheus()
+    assert "# HELP x_total second" in text
+    assert "first" not in text
+
+
 # ----------------------------------------------------------------------
 # exporters
 # ----------------------------------------------------------------------

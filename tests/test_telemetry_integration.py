@@ -233,3 +233,58 @@ def test_export_scenario_trace_helper(tmp_path):
     assert document["otherData"]["method"] == "su_o"
     assert document["otherData"]["iteration_seconds"] > 0
     assert _events_by_pid(document["traceEvents"], SIM_PID)
+
+
+def test_fault_counters_land_in_telemetry_exposition():
+    """Chaos accounting shares the exposition with everything else:
+    a deterministic transient fault shows up as described counter
+    families (injections, retries, backoff seconds)."""
+    from repro.faults import FaultInjector, FaultPlan, FaultRule
+
+    plan = FaultPlan(rules=(
+        FaultRule(kind="io_error", op="read", at_op=1, count=2),
+        FaultRule(kind="latency", op="write", at_op=1, count=1,
+                  latency_s=0.001),
+    ))
+    injector = FaultInjector(plan, sleep=lambda _s: None)
+    with telemetry.session() as session:
+        injector.guard(0, "read")   # fires twice, retried twice
+        injector.guard(0, "write")  # latency spike, no retry
+    snapshot = session.registry.snapshot()
+
+    def total(name):
+        return sum(series["value"] for key, series in snapshot.items()
+                   if key.split("{", 1)[0] == name)
+
+    assert total("faults_injected_total") == 3
+    assert total("faults_retries_total") == 2
+    assert total("faults_backoff_seconds_total") > 0.0
+    assert total("faults_latency_seconds_total") == pytest.approx(0.001)
+
+    text = session.registry.render_prometheus()
+    assert "# TYPE faults_injected_total counter" in text
+    assert "# HELP faults_injected_total Faults injected" in text
+    assert 'faults_injected_total{device="0",kind="io_error",op="read"}' \
+        in text
+    assert "# HELP faults_retries_total" in text
+
+
+def test_fault_dropout_counter_increments():
+    from repro.faults import FaultInjector, FaultPlan
+
+    injector = FaultInjector(FaultPlan(), sleep=lambda _s: None)
+    with telemetry.session() as session:
+        injector.fail_device(1, reason="test")
+    snapshot = session.registry.snapshot()
+    assert snapshot['faults_dropouts_total{device="1"}']["value"] == 1
+
+
+def test_fault_counters_noop_without_session():
+    from repro.faults import FaultInjector, FaultPlan, FaultRule
+
+    plan = FaultPlan(rules=(
+        FaultRule(kind="io_error", op="read", at_op=1, count=1),))
+    injector = FaultInjector(plan, sleep=lambda _s: None)
+    assert not telemetry.enabled()
+    injector.guard(0, "read")  # must not raise with telemetry off
+    assert injector.stats.snapshot()["injected"] == {"io_error": 1}
