@@ -21,11 +21,14 @@ package provides:
 """
 
 from .api import ENGINE_MODES, create_engine
-from .errors import (CapacityError, DeviceFailedError, FaultError,
-                     FaultInjectionError, GradientOverflowError,
-                     HardwareConfigError, KernelError, PartitionError,
-                     ReproError, RetryExhaustedError, SimulationError,
-                     StorageError, TrainingError)
+from .errors import (ArenaError, CapacityError, DeviceFailedError,
+                     FaultError, FaultInjectionError,
+                     GradientOverflowError, HardwareConfigError,
+                     KernelError, PartitionError, ReproError,
+                     RetryExhaustedError, SimulationError, StorageError,
+                     TrainingError)
+from .memory import (ArenaStats, BufferArena, aggregate_arena_stats,
+                     thread_arena)
 from .faults import FaultInjector, FaultPlan, FaultRule, RetryPolicy
 from .runtime import (BaselineOffloadEngine, HostOffloadEngine,
                       SmartInfinityEngine, StepResult, TrainingConfig,
@@ -33,7 +36,10 @@ from .runtime import (BaselineOffloadEngine, HostOffloadEngine,
 from .version import __version__
 
 __all__ = [
+    "ArenaError",
+    "ArenaStats",
     "BaselineOffloadEngine",
+    "BufferArena",
     "CapacityError",
     "DeviceFailedError",
     "ENGINE_MODES",
@@ -57,8 +63,10 @@ __all__ = [
     "TrainingConfig",
     "TrainingError",
     "__version__",
+    "aggregate_arena_stats",
     "create_engine",
     "expected_traffic",
     "load_checkpoint",
     "save_checkpoint",
+    "thread_arena",
 ]

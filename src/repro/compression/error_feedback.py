@@ -14,7 +14,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..errors import TrainingError
-from .topk import CompressedGradient, compress_topk, decompress_topk
+from .topk import CompressedGradient, compress_topk
 
 
 class ErrorFeedback:
@@ -24,20 +24,42 @@ class ErrorFeedback:
         if num_elements <= 0:
             raise TrainingError("num_elements must be positive")
         self.residual = np.zeros(num_elements, dtype=np.float32)
+        # Persistent staging for the compensated vector and the kept-value
+        # gather, so a steady-state compress step allocates nothing.
+        self._compensated = np.empty(num_elements, dtype=np.float32)
+        self._kept: np.ndarray = np.empty(0, dtype=np.float32)
 
     def compensate(self, gradient: np.ndarray) -> np.ndarray:
-        """Return ``gradient + residual`` (the vector to compress)."""
+        """Return ``gradient + residual`` (the vector to compress).
+
+        The result lives in a per-instance staging buffer that is reused
+        by the next ``compensate`` call — consume it (compress + absorb)
+        before compensating again.
+        """
         flat = np.asarray(gradient, dtype=np.float32).reshape(-1)
         if flat.size != self.residual.size:
             raise TrainingError(
                 f"gradient size {flat.size} != residual size "
                 f"{self.residual.size}")
-        return flat + self.residual
+        np.add(flat, self.residual, out=self._compensated)
+        return self._compensated
 
     def absorb(self, compensated: np.ndarray,
                compressed: CompressedGradient) -> None:
-        """Store what the compressor dropped from ``compensated``."""
-        self.residual = compensated - decompress_topk(compressed)
+        """Store what the compressor dropped from ``compensated``.
+
+        Equivalent to ``residual = compensated - decompress(compressed)``
+        element for element — including non-finite inputs, where a kept
+        ``inf`` must leave ``inf - inf = nan`` behind — but written as a
+        copy plus a k-sized gather/subtract at the kept indices, so no
+        dense temporaries are materialized.
+        """
+        np.copyto(self.residual, compensated)
+        if self._kept.size != compressed.num_kept:
+            self._kept = np.empty(compressed.num_kept, dtype=np.float32)
+        np.take(compensated, compressed.indices, out=self._kept)
+        np.subtract(self._kept, compressed.values, out=self._kept)
+        self.residual[compressed.indices] = self._kept
 
     def residual_norm(self) -> float:
         return float(np.linalg.norm(self.residual))
@@ -47,11 +69,17 @@ def compress_with_feedback(
         gradient: np.ndarray, feedback: Optional[ErrorFeedback],
         volume_ratio: float,
         compressor: Callable[..., CompressedGradient] = compress_topk,
+        **compressor_kwargs,
 ) -> CompressedGradient:
-    """One compression step with optional error feedback."""
+    """One compression step with optional error feedback.
+
+    Extra keyword arguments (e.g. ``abs_scratch=`` for
+    :func:`~repro.compression.topk.compress_topk`) pass through to the
+    compressor.
+    """
     if feedback is None:
-        return compressor(gradient, volume_ratio)
+        return compressor(gradient, volume_ratio, **compressor_kwargs)
     compensated = feedback.compensate(gradient)
-    compressed = compressor(compensated, volume_ratio)
+    compressed = compressor(compensated, volume_ratio, **compressor_kwargs)
     feedback.absorb(compensated, compressed)
     return compressed

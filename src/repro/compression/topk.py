@@ -68,16 +68,21 @@ def keep_count(num_elements: int, volume_ratio: float) -> int:
 
 
 def compress_topk(gradient: np.ndarray,
-                  volume_ratio: float = 0.02) -> CompressedGradient:
+                  volume_ratio: float = 0.02,
+                  abs_scratch: np.ndarray = None) -> CompressedGradient:
     """GPU-side compression: keep the largest-magnitude elements.
 
     Selection uses ``argpartition`` (the GPU does a partial sort); kept
-    indices are re-sorted ascending so the FPGA decompressor's scatter
-    walks memory sequentially, as the hardware pipeline does.
+    indices are re-sorted ascending (in place) so the FPGA decompressor's
+    scatter walks memory sequentially, as the hardware pipeline does.
 
     The engine hot path hands in contiguous fp32 1-D shard slices, which
-    are used as-is — the input is only ever read, and the kept values are
-    copied out — so no normalisation pass runs per shard per iteration.
+    are used as-is — the input is only ever read, and the fancy-indexed
+    gather of kept values already produces a fresh array (no aliasing, so
+    no defensive copy) — so no normalisation pass runs per shard per
+    iteration.  ``abs_scratch``, when given, receives the magnitude pass
+    (``|g|``) instead of a fresh temporary; it must be a flat float32
+    buffer of at least ``gradient.size`` elements (e.g. an arena block).
     """
     if (isinstance(gradient, np.ndarray) and gradient.ndim == 1
             and gradient.dtype == np.float32
@@ -89,10 +94,15 @@ def compress_topk(gradient: np.ndarray,
     if kept >= flat.size:
         indices = np.arange(flat.size, dtype=np.int32)
     else:
-        top = np.argpartition(np.abs(flat), flat.size - kept)[-kept:]
-        indices = np.sort(top).astype(np.int32)
+        if abs_scratch is not None:
+            magnitudes = np.abs(flat, out=abs_scratch[:flat.size])
+        else:
+            magnitudes = np.abs(flat)
+        top = np.argpartition(magnitudes, flat.size - kept)[-kept:]
+        top.sort()
+        indices = top.astype(np.int32)
     return CompressedGradient(indices=indices,
-                              values=flat[indices].copy(),
+                              values=flat[indices],
                               original_size=flat.size)
 
 

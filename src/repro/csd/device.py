@@ -117,20 +117,34 @@ class SmartSSDDevice:
         self.host_traffic.add_read(array.size * array.itemsize)
         return array
 
+    def host_read_into(self, region: str, out: np.ndarray, start: int = 0,
+                       count: Optional[int] = None) -> np.ndarray:
+        """SSD -> host read straight into a caller-owned (arena) buffer."""
+        if count is None:
+            count = self.store.region(region).num_elements - start
+        array = self.store.read_slice_into(region, start, count, out)
+        self.host_traffic.add_read(array.size * array.itemsize)
+        return array
+
     # ------------------------------------------------------------------
     # internal P2P path (SSD <-> FPGA through the private switch)
     # ------------------------------------------------------------------
     def p2p_read_into(self, region: str, start: int,
                       buffer: np.ndarray, count: int) -> np.ndarray:
-        """SSD -> FPGA DRAM read into a pre-allocated buffer slice."""
+        """SSD -> FPGA DRAM read into a pre-allocated buffer slice.
+
+        Zero-copy: the SSD's file bytes land directly in the DRAM
+        buffer, with no intermediate ``bytes`` or staging array — the
+        functional analogue of the hardware's P2P DMA.  The buffer's
+        dtype must match the region's.
+        """
         if count > buffer.size:
             raise CapacityError(
                 f"p2p read of {count} elements exceeds buffer of "
                 f"{buffer.size}")
-        data = self.store.read_slice(region, start, count)
-        buffer[:count] = data
-        self.internal_traffic.add_read(4 * count)
-        return buffer[:count]
+        view = self.store.read_slice_into(region, start, count, buffer)
+        self.internal_traffic.add_read(view.size * view.itemsize)
+        return view
 
     def p2p_read(self, region: str, start: int,
                  count: Optional[int] = None) -> np.ndarray:

@@ -102,14 +102,16 @@ class DecompressorKernel:
         view[:] = 0.0
         indices = compressed.indices
         values = compressed.values
+        # One vectorized bounds check over the whole stream (the hardware
+        # validates the index range once at stream setup); the per-chunk
+        # loop below is then pure scatter with no reduction passes.
+        if indices.size and (int(indices.min()) < 0
+                             or int(indices.max())
+                             >= compressed.original_size):
+            raise KernelError("compressed index out of range")
         for start in range(0, indices.size, self.chunk_elements):
             stop = min(start + self.chunk_elements, indices.size)
-            chunk_idx = indices[start:stop]
-            if chunk_idx.size and (chunk_idx.min() < 0
-                                   or chunk_idx.max()
-                                   >= compressed.original_size):
-                raise KernelError("compressed index out of range")
-            view[chunk_idx] = values[start:stop]
+            view[indices[start:stop]] = values[start:stop]
         self.counters.invocations += 1
         self.counters.elements_processed += compressed.original_size
         self.counters.bytes_streamed += (compressed.nbytes

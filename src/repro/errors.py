@@ -40,6 +40,10 @@ class TelemetryError(ReproError):
     """Telemetry misuse (metric kind clash, double-ended span, bad buckets)."""
 
 
+class ArenaError(ReproError):
+    """Buffer-arena misuse (bad checkout size, foreign/double release)."""
+
+
 class FaultError(ReproError):
     """Base class for injected-fault conditions (see :mod:`repro.faults`)."""
 

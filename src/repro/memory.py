@@ -1,0 +1,259 @@
+"""Buffer-pool arenas: preallocated, size-classed scratch memory.
+
+The paper's transfer handler (§IV-B) exists because per-subgroup buffer
+allocation both risks device OOM and wastes time; its fix is a fixed set
+of pre-allocated buffers reused for every subgroup.  This module applies
+the same discipline to the *host* side of the reproduction: every scratch
+ndarray the hot path needs (optimizer temporaries, compression staging,
+upstream transfer buffers, CPU-update blocks) is checked out of a
+:class:`BufferArena` and returned, so steady-state training performs no
+ndarray allocation at all — the arena's high-water mark is a flat,
+assertable invariant, not just a speedup.
+
+Design:
+
+* buffers are **size-classed** (next power of two, 256-element floor), so
+  a request stream with mixed sizes still reuses a small set of blocks;
+* arenas are **per-worker**: :func:`thread_arena` hands each thread its
+  own arena, so the engines' CSD worker pools never contend on a shared
+  freelist and checkout/release stay same-thread (enforced);
+* stats are first-class: per-arena counters plus a process-wide
+  :func:`aggregate_arena_stats` view that survives arena death, which the
+  steady-state tests and ``repro bench`` read.
+
+Telemetry (when a session is active): the ``arena_bytes_in_use`` /
+``arena_high_water_bytes`` gauges and ``arena_checkouts_total`` /
+``arena_alloc_total`` counters, labelled by arena name.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from . import telemetry
+from .errors import ArenaError
+
+#: Smallest size class, in elements: sub-256-element checkouts share one
+#: class so tiny requests do not fragment the pool.
+MIN_CLASS_ELEMENTS = 256
+
+
+def size_class(num_elements: int) -> int:
+    """Round a request up to its size class (next power of two)."""
+    if num_elements <= 0:
+        raise ArenaError(f"checkout size must be positive, got "
+                         f"{num_elements}")
+    return max(MIN_CLASS_ELEMENTS, 1 << (num_elements - 1).bit_length())
+
+
+@dataclass(frozen=True)
+class ArenaStats:
+    """Point-in-time view of one arena (or the process aggregate)."""
+
+    #: Fresh ndarray allocations ever performed (cold path only).
+    allocations: int
+    #: Total checkouts served (warm + cold).
+    checkouts: int
+    releases: int
+    #: Bytes currently checked out.
+    bytes_in_use: int
+    #: Peak of ``bytes_in_use`` — the fixed-footprint invariant.
+    high_water_bytes: int
+    #: Bytes parked in freelists, ready for reuse.
+    pooled_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of checkouts served without allocating."""
+        if self.checkouts == 0:
+            return 1.0
+        return 1.0 - self.allocations / self.checkouts
+
+
+# Process-wide cumulative counters (survive arena garbage collection, so
+# "allocations stopped growing" stays assertable across engine lifetimes).
+_totals_lock = threading.Lock()
+_total_allocations = 0
+_total_checkouts = 0
+_total_releases = 0
+_arenas: "weakref.WeakSet[BufferArena]" = weakref.WeakSet()
+
+
+class BufferArena:
+    """A pool of reusable, size-classed scratch buffers.
+
+    ``acquire`` returns a length-exact ndarray view of a pooled block;
+    ``release`` returns the block to its freelist.  ``checkout`` wraps
+    the pair as a context manager.  Blocks never shrink: at steady state
+    every checkout is served from a freelist and the allocation counter
+    is flat — the invariant the zero-copy tests assert.
+    """
+
+    def __init__(self, name: str = "arena") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._free: Dict[Tuple[str, int], List[np.ndarray]] = {}
+        # id(base) -> (base block, freelist key) for every live checkout.
+        self._live: Dict[int, Tuple[np.ndarray, Tuple[str, int]]] = {}
+        self._allocations = 0
+        self._checkouts = 0
+        self._releases = 0
+        self._bytes_in_use = 0
+        self._high_water = 0
+        self._pooled_bytes = 0
+        with _totals_lock:
+            _arenas.add(self)
+
+    # ------------------------------------------------------------------
+    def acquire(self, num_elements: int, dtype=np.float32) -> np.ndarray:
+        """Check out a flat C-contiguous buffer of ``num_elements``.
+
+        The returned array is an exact-length view of a (possibly larger)
+        size-class block; its contents are undefined, exactly like
+        ``np.empty``.  Pass any view of it back to :meth:`release`.
+        """
+        dt = np.dtype(dtype)
+        cls = size_class(num_elements)
+        key = (dt.str, cls)
+        allocated = False
+        with self._lock:
+            freelist = self._free.get(key)
+            if freelist:
+                base = freelist.pop()
+                self._pooled_bytes -= base.nbytes
+            else:
+                base = np.empty(cls, dtype=dt)
+                self._allocations += 1
+                allocated = True
+            self._live[id(base)] = (base, key)
+            self._checkouts += 1
+            self._bytes_in_use += base.nbytes
+            self._high_water = max(self._high_water, self._bytes_in_use)
+            in_use = self._bytes_in_use
+            high = self._high_water
+        global _total_allocations, _total_checkouts
+        with _totals_lock:
+            _total_checkouts += 1
+            if allocated:
+                _total_allocations += 1
+        if telemetry.enabled():
+            telemetry.gauge("arena_bytes_in_use", in_use, arena=self.name)
+            telemetry.gauge("arena_high_water_bytes", high, arena=self.name)
+            telemetry.counter("arena_checkouts_total", arena=self.name)
+            if allocated:
+                telemetry.counter("arena_alloc_total", arena=self.name)
+        return base[:num_elements]
+
+    def release(self, view: np.ndarray) -> None:
+        """Return a checked-out buffer (or any view of it) to the pool."""
+        base = view if view.base is None else view.base
+        if not isinstance(base, np.ndarray):
+            raise ArenaError(
+                f"buffer does not come from arena {self.name!r}")
+        with self._lock:
+            entry = self._live.pop(id(base), None)
+            if entry is None:
+                raise ArenaError(
+                    f"buffer was not checked out of arena {self.name!r} "
+                    f"(foreign block or double release)")
+            block, key = entry
+            self._free.setdefault(key, []).append(block)
+            self._releases += 1
+            self._bytes_in_use -= block.nbytes
+            self._pooled_bytes += block.nbytes
+            in_use = self._bytes_in_use
+        global _total_releases
+        with _totals_lock:
+            _total_releases += 1
+        if telemetry.enabled():
+            telemetry.gauge("arena_bytes_in_use", in_use, arena=self.name)
+
+    @contextlib.contextmanager
+    def checkout(self, num_elements: int,
+                 dtype=np.float32) -> Iterator[np.ndarray]:
+        """``with arena.checkout(n) as buf:`` acquire/release pairing."""
+        buffer = self.acquire(num_elements, dtype)
+        try:
+            yield buffer
+        finally:
+            self.release(buffer)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> ArenaStats:
+        with self._lock:
+            return ArenaStats(
+                allocations=self._allocations,
+                checkouts=self._checkouts,
+                releases=self._releases,
+                bytes_in_use=self._bytes_in_use,
+                high_water_bytes=self._high_water,
+                pooled_bytes=self._pooled_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (f"BufferArena({self.name!r}, in_use={stats.bytes_in_use}, "
+                f"pooled={stats.pooled_bytes}, "
+                f"high_water={stats.high_water_bytes})")
+
+
+# ----------------------------------------------------------------------
+# per-worker arenas
+# ----------------------------------------------------------------------
+_thread_state = threading.local()
+
+
+def thread_arena() -> BufferArena:
+    """The calling thread's private arena (created on first use).
+
+    Per-worker arenas mean the engines' CSD worker pools never share a
+    freelist: checkout and release happen on the same thread with zero
+    cross-thread contention, mirroring the paper's per-device buffers.
+    """
+    arena = getattr(_thread_state, "arena", None)
+    if arena is None:
+        arena = BufferArena(
+            name=f"thread/{threading.current_thread().name}")
+        _thread_state.arena = arena
+    return arena
+
+
+def aggregate_arena_stats() -> ArenaStats:
+    """Process-wide arena view: live arenas plus cumulative counters.
+
+    ``allocations``/``checkouts``/``releases`` are monotonic across the
+    whole process (they survive arena death), so a flat ``allocations``
+    delta across training steps proves zero steady-state allocation.
+    """
+    bytes_in_use = 0
+    high_water = 0
+    pooled = 0
+    with _totals_lock:
+        allocations = _total_allocations
+        checkouts = _total_checkouts
+        releases = _total_releases
+        arenas = list(_arenas)
+    for arena in arenas:
+        stats = arena.stats()
+        bytes_in_use += stats.bytes_in_use
+        high_water += stats.high_water_bytes
+        pooled += stats.pooled_bytes
+    return ArenaStats(
+        allocations=allocations, checkouts=checkouts, releases=releases,
+        bytes_in_use=bytes_in_use, high_water_bytes=high_water,
+        pooled_bytes=pooled)
+
+
+__all__ = [
+    "ArenaStats",
+    "BufferArena",
+    "MIN_CLASS_ELEMENTS",
+    "aggregate_arena_stats",
+    "size_class",
+    "thread_arena",
+]

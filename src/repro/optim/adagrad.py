@@ -5,11 +5,16 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import TrainingError
-from .base import FlatOptimizer, StateDict
+from .base import FlatOptimizer, StateDict, scratch_buffers
 
 
 class AdaGrad(FlatOptimizer):
-    """Accumulated squared-gradient scaling: ``G += g^2; p -= lr*g/sqrt(G)``."""
+    """Accumulated squared-gradient scaling: ``G += g^2; p -= lr*g/sqrt(G)``.
+
+    Fused in place against two arena scratch vectors, preserving the
+    original left-to-right evaluation order (``lr * g`` first, then the
+    divide) so results stay bit-identical.
+    """
 
     state_names = ("accumulator",)
 
@@ -23,6 +28,11 @@ class AdaGrad(FlatOptimizer):
              step_num: int) -> None:
         self.check(params, grads, state)
         accumulator = state["accumulator"]
-        accumulator += grads * grads
-        params -= np.float32(self.lr) * grads / (
-            np.sqrt(accumulator) + self.eps)
+        with scratch_buffers(params.size, 2) as (t1, t2):
+            np.multiply(grads, grads, out=t1)
+            accumulator += t1
+            np.sqrt(accumulator, out=t2)
+            t2 += self.eps
+            np.multiply(grads, np.float32(self.lr), out=t1)
+            t1 /= t2
+            params -= t1

@@ -5,6 +5,14 @@ The update is written as a fixed sequence of element-wise vector operations
 CSD kernel implementation in `repro.csd.kernels` replays this same sequence
 chunk by chunk, so results are bit-identical by construction, and the test
 suite asserts it.
+
+Every operation runs **in place** (``out=``) against two arena-owned
+scratch vectors, so a steady-state step allocates nothing: the fused
+sequence is the same arithmetic in the same order as the textbook form —
+the only difference is where the intermediates live — which keeps results
+bit-identical to the original expression-per-line implementation (scalar
+multiplication is commutative bit-for-bit, and the operation order is
+preserved exactly; asserted by the zero-copy property tests).
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import TrainingError
-from .base import FlatOptimizer, StateDict
+from .base import FlatOptimizer, StateDict, scratch_buffers
 
 
 class Adam(FlatOptimizer):
@@ -38,18 +46,28 @@ class Adam(FlatOptimizer):
         variance = state["variance"]
         one = np.float32(1.0)
 
-        # AXPBY: m = beta1 * m + (1 - beta1) * g
-        momentum *= self.beta1
-        momentum += (one - self.beta1) * grads
-        # AXPBY: v = beta2 * v + (1 - beta2) * g^2
-        variance *= self.beta2
-        variance += (one - self.beta2) * (grads * grads)
+        with scratch_buffers(params.size, 2) as (t1, t2):
+            # AXPBY: m = beta1 * m + (1 - beta1) * g
+            momentum *= self.beta1
+            np.multiply(grads, one - self.beta1, out=t1)
+            momentum += t1
+            # AXPBY: v = beta2 * v + (1 - beta2) * g^2
+            variance *= self.beta2
+            np.multiply(grads, grads, out=t1)
+            t1 *= one - self.beta2
+            variance += t1
 
-        correction1 = one - self.beta1 ** np.float32(step_num)
-        correction2 = one - self.beta2 ** np.float32(step_num)
-        m_hat = momentum / correction1
-        v_hat = variance / correction2
-        params -= np.float32(self.lr) * m_hat / (np.sqrt(v_hat) + self.eps)
+            correction1 = one - self.beta1 ** np.float32(step_num)
+            correction2 = one - self.beta2 ** np.float32(step_num)
+            # t1 = m_hat = m / correction1; t2 = sqrt(v_hat) + eps
+            np.divide(momentum, correction1, out=t1)
+            np.divide(variance, correction2, out=t2)
+            np.sqrt(t2, out=t2)
+            t2 += self.eps
+            # p -= (lr * m_hat) / (sqrt(v_hat) + eps), in original order
+            t1 *= np.float32(self.lr)
+            t1 /= t2
+            params -= t1
 
 
 class AdamW(Adam):
@@ -66,6 +84,10 @@ class AdamW(Adam):
     def step(self, params: np.ndarray, grads: np.ndarray, state: StateDict,
              step_num: int) -> None:
         # Decoupled decay applies directly to the parameters, before the
-        # Adam moment update.
-        params -= np.float32(self.lr) * self.weight_decay * params
+        # Adam moment update (scalar product lr * wd folded first, as the
+        # original left-to-right expression evaluated it).
+        with scratch_buffers(params.size, 1) as (t1,):
+            np.multiply(params, np.float32(self.lr) * self.weight_decay,
+                        out=t1)
+            params -= t1
         super().step(params, grads, state, step_num)

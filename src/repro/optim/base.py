@@ -17,13 +17,36 @@ derived from them after each step).
 from __future__ import annotations
 
 import abc
-from typing import Dict, Tuple
+import contextlib
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
 from ..errors import TrainingError
+from ..memory import thread_arena
 
 StateDict = Dict[str, np.ndarray]
+
+
+@contextlib.contextmanager
+def scratch_buffers(num_elements: int,
+                    count: int) -> Iterator[List[np.ndarray]]:
+    """Check out ``count`` float32 scratch vectors from the per-thread
+    arena.
+
+    The fused in-place optimizer kernels stage their temporaries here
+    instead of allocating fresh ndarrays per ``step()`` call, so at
+    steady state an update pass performs zero allocations — each engine
+    worker thread reuses the same size-classed blocks every subgroup.
+    Contents are undefined on entry (like ``np.empty``).
+    """
+    arena = thread_arena()
+    buffers = [arena.acquire(num_elements) for _ in range(count)]
+    try:
+        yield buffers
+    finally:
+        for buffer in buffers:
+            arena.release(buffer)
 
 
 class FlatOptimizer(abc.ABC):

@@ -5,11 +5,16 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import TrainingError
-from .base import FlatOptimizer, StateDict
+from .base import FlatOptimizer, StateDict, scratch_buffers
 
 
 class SGDMomentum(FlatOptimizer):
-    """Heavy-ball SGD: ``m = mu * m + g; p -= lr * m``."""
+    """Heavy-ball SGD: ``m = mu * m + g; p -= lr * m``.
+
+    Fused in place against one arena scratch vector; ``lr * m`` is a
+    scalar-array product, so staging it with ``out=`` is bit-identical to
+    the expression form.
+    """
 
     state_names = ("momentum",)
 
@@ -26,4 +31,6 @@ class SGDMomentum(FlatOptimizer):
         # AXPBY: m = mu * m + 1.0 * g
         buf *= self.momentum
         buf += grads
-        params -= np.float32(self.lr) * buf
+        with scratch_buffers(params.size, 1) as (t1,):
+            np.multiply(buf, np.float32(self.lr), out=t1)
+            params -= t1

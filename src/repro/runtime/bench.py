@@ -35,6 +35,7 @@ import numpy as np
 from ..api import create_engine
 from ..compression.topk import keep_count
 from ..faults import FaultPlan
+from ..memory import aggregate_arena_stats
 from ..nn import SequenceClassifier, bert_config
 from .engine import TrainingConfig
 
@@ -203,6 +204,7 @@ def run_parallel_bench(quick: bool = False,
             raise ValueError("steps must be positive")
         workload = BenchWorkload(**{**asdict(workload), "steps": steps})
 
+    arena_before = aggregate_arena_stats()
     runs: List[BenchRun] = []
     speedups: Dict[str, Dict[str, float]] = {}
     for num_csds in csd_counts:
@@ -244,6 +246,7 @@ def run_parallel_bench(quick: bool = False,
         "runs": [asdict(run) for run in runs],
         "speedups": speedups,
         "smartcomp_cache": _measure_smartcomp_cache(workload),
+        "arena": _arena_delta(arena_before),
     }
     if fault_plan is not None:
         report["fault_plan"] = fault_plan.to_dict()
@@ -251,6 +254,25 @@ def run_parallel_bench(quick: bool = False,
         with open(out_path, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
     return report
+
+
+def _arena_delta(before) -> Dict[str, object]:
+    """Scratch-arena accounting over the benchmark (zero-copy witness).
+
+    ``allocations`` counts cold-path ndarray allocations during the whole
+    matrix; with warm buffer pools it stays a small fixed number per
+    engine rather than growing with steps, and the hit rate shows how
+    many checkouts the freelists served.
+    """
+    after = aggregate_arena_stats()
+    checkouts = after.checkouts - before.checkouts
+    allocations = after.allocations - before.allocations
+    return {
+        "checkouts": checkouts,
+        "allocations": allocations,
+        "hit_rate": (1.0 - allocations / checkouts) if checkouts else 1.0,
+        "high_water_bytes": after.high_water_bytes,
+    }
 
 
 def render_report(report: Dict[str, object]) -> str:
@@ -275,6 +297,13 @@ def render_report(report: Dict[str, object]) -> str:
         f"{cache['internal_read_bytes_per_iter']} B/iter internal reads "
         f"vs {cache['legacy_internal_read_bytes_per_iter']} B/iter "
         f"uncached ({cache['reduction_factor']:.2f}x fewer)")
+    arena = report.get("arena")
+    if arena is not None:
+        lines.append(
+            f"  scratch arena: {arena['checkouts']} checkouts, "
+            f"{arena['allocations']} allocations "
+            f"({100.0 * arena['hit_rate']:.1f}% pooled), "
+            f"high-water {arena['high_water_bytes']} B")
     if report.get("fault_plan") is not None:
         injected = sum(sum(run["faults"]["injected"].values())
                        for run in report["runs"] if run.get("faults"))

@@ -29,9 +29,11 @@ import numpy as np
 from .. import telemetry
 from ..errors import TrainingError
 from ..faults import FaultInjector, FaultPlan
+from ..memory import ArenaStats, aggregate_arena_stats
 from ..nn.modules import Module
 from ..nn.precision import (LossScaler, clip_gradients, has_overflow)
 from ..optim import make_optimizer
+from ..optim.base import scratch_buffers
 from ..storage.blockdev import FileBlockDevice
 from ..storage.raid0 import RAID0Volume
 from ..storage.tensor_store import TensorStore
@@ -220,6 +222,16 @@ class MixedPrecisionTrainer:
         stats["degraded_steps"] = int(getattr(self, "degraded_steps", 0))
         return stats
 
+    def arena_stats(self) -> ArenaStats:
+        """Process-wide scratch-arena accounting (see :mod:`repro.memory`).
+
+        Arenas are per-worker-thread and shared by every engine in the
+        process, so this is a process aggregate, not a per-engine ledger;
+        its ``allocations`` counter going flat across steps is the
+        zero-steady-state-allocation invariant.
+        """
+        return aggregate_arena_stats()
+
     # ------------------------------------------------------------------
     # learning-rate scheduling
     # ------------------------------------------------------------------
@@ -393,35 +405,44 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
                           overflow=overflow, traffic=traffic)
 
     def _cpu_update(self) -> None:
-        """Block-wise upload -> AVX update -> offload (Fig. 4a)."""
+        """Block-wise upload -> AVX update -> offload (Fig. 4a).
+
+        Every block reuses one set of arena scratch buffers: the store
+        reads land directly in them (:meth:`TensorStore.read_slice_into`),
+        the fused optimizer updates them in place, and the same views are
+        written back — zero per-block ndarray allocation at steady state.
+        """
         total = self.space.total_elements
         step = self.step_count
         size = self.config.subgroup_elements
-        for start in range(0, total, size):
-            count = min(size, total - start)
-            with telemetry.trace_span("cpu_update.block", start=start,
-                                      elements=count,
-                                      resource="host-cpu"):
-                grads = self.store.read_slice("grads", start, count)
-                masters = self.store.read_slice("master_params", start,
-                                                count)
-                state = {
-                    name: self.store.read_slice(name, start, count)
-                    for name in self._state_names
-                }
-                self.meter.add_host_read(
-                    4 * count * (2 + len(self._state_names)))
+        names = self._state_names
+        with scratch_buffers(min(size, total), 2 + len(names)) as blocks:
+            for start in range(0, total, size):
+                count = min(size, total - start)
+                with telemetry.trace_span("cpu_update.block", start=start,
+                                          elements=count,
+                                          resource="host-cpu"):
+                    grads = self.store.read_slice_into(
+                        "grads", start, count, blocks[0])
+                    masters = self.store.read_slice_into(
+                        "master_params", start, count, blocks[1])
+                    state = {
+                        name: self.store.read_slice_into(
+                            name, start, count, block)
+                        for name, block in zip(names, blocks[2:])
+                    }
+                    self.meter.add_host_read(4 * count * (2 + len(names)))
 
-                self.optimizer.step(masters, grads, state, step)
+                    self.optimizer.step(masters, grads, state, step)
 
-                self.store.write_slice("master_params", start, masters)
-                for name in self._state_names:
-                    self.store.write_slice(name, start, state[name])
-                self.meter.add_host_write(
-                    4 * count * (1 + len(self._state_names)))
+                    self.store.write_slice("master_params", start, masters)
+                    for name in names:
+                        self.store.write_slice(name, start, state[name])
+                    self.meter.add_host_write(4 * count * (1 + len(names)))
 
-                # Refresh the FP16 working copy from the updated masters.
-                self.space.install_fp16_slice(start, masters)
+                    # Refresh the FP16 working copy from the updated
+                    # masters.
+                    self.space.install_fp16_slice(start, masters)
 
     def close(self) -> None:
         if self._closed:

@@ -106,6 +106,10 @@ class HostOffloadEngine(MixedPrecisionTrainer):
         parameter space's writer lock), so they run concurrently on the
         worker pool — bit-identically to the sequential loop, since the
         update is element-wise.
+
+        The fused optimizer stages its temporaries in each worker
+        thread's private arena (:func:`repro.memory.thread_arena`), so a
+        steady-state update pass allocates no ndarrays at all.
         """
         total = self.space.total_elements
         size = self.config.subgroup_elements

@@ -42,10 +42,12 @@ from ..csd.handler import (Subgroup, TransferHandler, naive_update_pass,
                            plan_subgroups)
 from ..csd.kernels import DecompressorKernel, UpdaterKernel
 from ..errors import DeviceFailedError, RetryExhaustedError, TrainingError
+from ..memory import thread_arena
 from ..modelcomp.pruning import PruningMask, magnitude_mask
 from ..modelcomp.quantization import QuantizerKernel, dequantize_int8, \
     QuantizedTensor
 from ..nn.modules import Module
+from ..optim.base import scratch_buffers
 from .engine import (LossFn, MixedPrecisionTrainer, StepResult,
                      TrainingConfig, fault_bypass, fold_deprecated_kwarg,
                      make_fault_injector)
@@ -281,8 +283,13 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
                 shard_grads = flat_grads[shard.start:shard.end]
                 compressed = None
                 if ratio is not None:
-                    compressed = compress_with_feedback(
-                        shard_grads, self.feedback[index], ratio)
+                    # The |g| magnitude pass stages in this worker
+                    # thread's arena instead of a fresh shard-sized
+                    # temporary per iteration.
+                    with thread_arena().checkout(shard.count) as scratch:
+                        compressed = compress_with_feedback(
+                            shard_grads, self.feedback[index], ratio,
+                            abs_scratch=scratch)
                 if index in self._host_shards:
                     return compressed
                 try:
@@ -344,7 +351,8 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         max_sub = min(self.config.subgroup_elements, shard.count)
         subgroups = plan_subgroups(shard.count, max_sub)
 
-        load_grads = self._make_grad_loader(index, compressed, subgroups)
+        load_grads, release_grads = self._make_grad_loader(
+            index, compressed, subgroups)
 
         def on_params_written(subgroup: Subgroup) -> None:
             # The urgent write-back just landed: record the commit before
@@ -361,14 +369,18 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         with telemetry.trace_span("device_update", device=index,
                                   subgroups=len(subgroups),
                                   worker=threading.current_thread().name):
-            if handler is not None:
-                handler.run_update_pass(subgroups, kernel, self.step_count,
-                                        load_grads, on_params_written)
-            else:
-                naive_update_pass(device, subgroups, kernel,
-                                  self.step_count, self._state_names,
-                                  load_grads, on_params_written,
-                                  on_state_written)
+            try:
+                if handler is not None:
+                    handler.run_update_pass(subgroups, kernel,
+                                            self.step_count, load_grads,
+                                            on_params_written)
+                else:
+                    naive_update_pass(device, subgroups, kernel,
+                                      self.step_count, self._state_names,
+                                      load_grads, on_params_written,
+                                      on_state_written)
+            finally:
+                release_grads()
 
     # ------------------------------------------------------------------
     # graceful degradation (demotion to the host-CPU update path)
@@ -468,19 +480,24 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
                     (name, subgroup.start) in committed_states
                     for name in self._state_names):
                 continue
-            scratch_params = masters[sl].copy()
-            scratch_state = {name: states[name][sl].copy()
-                             for name in self._state_names}
-            self.optimizer.step(scratch_params, grads[sl], scratch_state,
-                                self.step_count)
-            if not params_done:
-                masters[sl] = scratch_params
-                for name in self._state_names:
-                    states[name][sl] = scratch_state[name]
-            else:
-                for name in self._state_names:
-                    if (name, subgroup.start) not in committed_states:
+            with scratch_buffers(subgroup.count,
+                                 1 + len(self._state_names)) as blocks:
+                scratch_params = blocks[0]
+                np.copyto(scratch_params, masters[sl])
+                scratch_state = {}
+                for name, block in zip(self._state_names, blocks[1:]):
+                    np.copyto(block, states[name][sl])
+                    scratch_state[name] = block
+                self.optimizer.step(scratch_params, grads[sl],
+                                    scratch_state, self.step_count)
+                if not params_done:
+                    masters[sl] = scratch_params
+                    for name in self._state_names:
                         states[name][sl] = scratch_state[name]
+                else:
+                    for name in self._state_names:
+                        if (name, subgroup.start) not in committed_states:
+                            states[name][sl] = scratch_state[name]
 
     def _host_update_shard(self, index: int,
                            compressed: Optional[CompressedGradient],
@@ -554,16 +571,27 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         global_start = shard.start + subgroup.start
 
         if quantizer is None:
-            values = device.host_read("master_params", subgroup.start,
-                                      subgroup.count)
-            self.meter.add_host_read(4 * subgroup.count)
+            # Read straight into an arena block; the FP16 install copies
+            # out of it, so the scratch is released before returning.
+            with thread_arena().checkout(subgroup.count) as scratch:
+                values = device.host_read_into("master_params", scratch,
+                                               subgroup.start,
+                                               subgroup.count)
+                self.meter.add_host_read(4 * subgroup.count)
+                if self.pruning_mask is not None:
+                    self.pruning_mask.slice(
+                        global_start, subgroup.count).apply(values)
+                self.space.install_fp16_slice(global_start, values)
+            return
         else:
             # Quantize on the CSD.  The masters are already in FPGA DRAM
             # after the urgent write-back, so no extra P2P read is needed;
             # we fetch them through the store un-metered to emulate that.
-            masters = device.store.read_slice(
-                "master_params", subgroup.start, subgroup.count)
-            quantized = quantizer.run(masters)
+            with thread_arena().checkout(subgroup.count) as scratch:
+                masters = device.store.read_slice_into(
+                    "master_params", subgroup.start, subgroup.count,
+                    scratch)
+                quantized = quantizer.run(masters)
             config = self.config
             max_sub = min(config.subgroup_elements, shard.count)
             groups_per_sub = -(-max_sub // config.quantization_group)
@@ -590,7 +618,9 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
     def _make_grad_loader(self, index: int,
                           compressed: Optional[CompressedGradient],
                           subgroups: Sequence[Subgroup]
-                          ) -> Callable[[Subgroup, np.ndarray], np.ndarray]:
+                          ) -> Tuple[Callable[[Subgroup, np.ndarray],
+                                              np.ndarray],
+                                     Callable[[], None]]:
         """Build the per-subgroup gradient loader for one update pass.
 
         SmartUpdate reads dense gradients over P2P; SmartComp reads the
@@ -598,12 +628,16 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         the gradient buffer for the subgroup's index range (§V-B).
 
         The compressed stream is read over the internal path *once per
-        update pass* and cached in FPGA DRAM for the pass — it is
-        read-only while the pass runs — with one precomputed
-        ``searchsorted`` over the subgroup boundaries.  The per-subgroup
-        closure then just slices, instead of re-reading the whole
-        O(kept) stream for every subgroup (which made internal-read
-        traffic O(subgroups x kept)).
+        update pass* directly into arena-staged blocks cached in "FPGA
+        DRAM" for the pass — it is read-only while the pass runs — with
+        one precomputed ``searchsorted`` over the subgroup boundaries.
+        The per-subgroup closure then just slices and rebases indices in
+        place, instead of re-reading the whole O(kept) stream for every
+        subgroup (which made internal-read traffic O(subgroups x kept)).
+
+        Returns ``(loader, release)``; the caller must invoke ``release``
+        on the same worker thread once the pass ends to return the staged
+        stream blocks to the arena.
         """
         device = self.devices[index]
         if compressed is None:
@@ -611,11 +645,28 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
                            buffer: np.ndarray) -> np.ndarray:
                 return device.p2p_read_into("grads", subgroup.start, buffer,
                                             subgroup.count)
-            return load_dense
+            return load_dense, lambda: None
 
         decompressor = self.decompressors[index]
-        indices = device.p2p_read("comp_indices", 0)
-        values = device.p2p_read("comp_values", 0)
+        arena = thread_arena()
+        kept = device.store.region("comp_indices").num_elements
+        staged = [arena.acquire(kept, dtype=np.int32),
+                  arena.acquire(kept, dtype=np.float32),
+                  arena.acquire(kept, dtype=np.int32)]
+        idx_stage, val_stage, local_stage = staged
+
+        def release() -> None:
+            for block in staged:
+                arena.release(block)
+
+        try:
+            indices = device.p2p_read_into("comp_indices", 0, idx_stage,
+                                           kept)
+            values = device.p2p_read_into("comp_values", 0, val_stage,
+                                          kept)
+        except BaseException:
+            release()
+            raise
         # Subgroups tile [0, shard.count) in order, so one sorted lookup
         # of every boundary yields each subgroup's [lo, hi) stream slice.
         edges = np.fromiter(
@@ -628,16 +679,20 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         def load_compressed(subgroup: Subgroup,
                             buffer: np.ndarray) -> np.ndarray:
             # The decompressor selects the cached entries belonging to
-            # this subgroup and scatters them into its gradient buffer.
-            lo = bounds[subgroup.index]
-            hi = bounds[subgroup.index + 1]
+            # this subgroup, rebases them to subgroup-local positions in
+            # the staging block, and scatters into the gradient buffer.
+            lo = int(bounds[subgroup.index])
+            hi = int(bounds[subgroup.index + 1])
+            local_view = local_stage[:hi - lo]
+            np.subtract(indices[lo:hi], np.int32(subgroup.start),
+                        out=local_view)
             local = CompressedGradient(
-                indices=(indices[lo:hi] - subgroup.start).astype(np.int32),
+                indices=local_view,
                 values=values[lo:hi],
                 original_size=subgroup.count)
             return decompressor.run(local, buffer)
 
-        return load_compressed
+        return load_compressed, release
 
     # ------------------------------------------------------------------
     def _release(self, abandon: bool = False) -> None:

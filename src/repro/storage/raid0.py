@@ -110,15 +110,49 @@ class RAID0Volume:
             remaining -= take
         return b"".join(parts)
 
-    def pwrite(self, offset: int, data: bytes) -> int:
-        """Write ``data``, scattering across stripe chunks."""
-        self._check(offset, len(data))
+    def pread_into(self, offset: int, out) -> int:
+        """Zero-copy gather across stripe chunks into ``out``.
+
+        Each stripe chunk is read by its member directly into the
+        corresponding slice of ``out`` (memoryview slicing is zero-copy),
+        so a striped read costs exactly one data movement per chunk —
+        no per-chunk ``bytes`` objects, no final join.
+        """
+        view = FileBlockDevice._byte_view(out, writable=True)
+        length = view.nbytes
+        self._check(offset, length)
         self._check_degraded()
         position = offset
         cursor = 0
-        while cursor < len(data):
+        while cursor < length:
             member_index, member_offset, in_chunk = self._map(position)
-            take = min(len(data) - cursor, in_chunk)
+            take = min(length - cursor, in_chunk)
+            try:
+                self.members[member_index].pread_into(
+                    member_offset, view[cursor:cursor + take])
+            except (DeviceFailedError, RetryExhaustedError) as exc:
+                self._member_failed(member_index, exc)
+                self._check_degraded()
+            position += take
+            cursor += take
+        return length
+
+    def pwrite(self, offset: int, data) -> int:
+        """Write ``data``, scattering across stripe chunks.
+
+        ``data`` may be ``bytes`` or any C-contiguous buffer; buffers are
+        scattered through zero-copy memoryview slices.
+        """
+        if not isinstance(data, (bytes, bytearray)):
+            data = FileBlockDevice._byte_view(data, writable=False)
+        length = len(data)
+        self._check(offset, length)
+        self._check_degraded()
+        position = offset
+        cursor = 0
+        while cursor < length:
+            member_index, member_offset, in_chunk = self._map(position)
+            take = min(length - cursor, in_chunk)
             try:
                 self.members[member_index].pwrite(
                     member_offset, data[cursor:cursor + take])
@@ -127,7 +161,7 @@ class RAID0Volume:
                 self._check_degraded()
             position += take
             cursor += take
-        return len(data)
+        return length
 
     def counters(self) -> IOCounters:
         """Aggregate I/O counters across members."""

@@ -78,23 +78,42 @@ class TensorStore:
         return name in self._regions
 
     def write_array(self, name: str, array: np.ndarray) -> None:
-        """Persist ``array`` into its region (shape/dtype must match)."""
+        """Persist ``array`` into its region (shape/dtype must match).
+
+        Contiguous arrays are written through the buffer protocol — no
+        ``tobytes()`` serialization, no intermediate copy.
+        """
         region = self.region(name)
         array = np.ascontiguousarray(array)
         if array.dtype != region.dtype or array.size != region.num_elements:
             raise StorageError(
                 f"region {name!r} expects {region.num_elements} x "
                 f"{region.dtype}, got {array.size} x {array.dtype}")
-        self.device.pwrite(region.offset, array.tobytes())
+        self.device.pwrite(region.offset, array)
 
     def read_array(self, name: str) -> np.ndarray:
-        """Load the region's contents as a fresh array."""
+        """Load the region's contents as a fresh (writable) array.
+
+        One copy total: the device reads straight into the returned
+        array (the old path materialized ``bytes`` and then copied them
+        out of the read-only ``frombuffer`` view — two copies).
+        """
         region = self.region(name)
-        raw = self.device.pread(region.offset, region.nbytes)
-        return np.frombuffer(raw, dtype=region.dtype).copy()
+        out = np.empty(region.num_elements, dtype=region.dtype)
+        self.read_array_into(name, out)
+        return out
+
+    def read_array_into(self, name: str, out: np.ndarray) -> np.ndarray:
+        """Zero-copy load of a whole region into a caller-owned buffer."""
+        region = self.region(name)
+        return self.read_slice_into(name, 0, region.num_elements, out)
 
     def write_slice(self, name: str, start: int, array: np.ndarray) -> None:
-        """Write ``array`` into the region starting at element ``start``."""
+        """Write ``array`` into the region starting at element ``start``.
+
+        Contiguous arrays (the hot path hands in flat buffer views) are
+        written without any intermediate ``bytes`` copy.
+        """
         region = self.region(name)
         array = np.ascontiguousarray(array, dtype=region.dtype)
         if start < 0 or start + array.size > region.num_elements:
@@ -102,21 +121,54 @@ class TensorStore:
                 f"slice [{start}, {start + array.size}) outside region "
                 f"{name!r} of {region.num_elements} elements")
         byte_offset = region.offset + start * region.dtype.itemsize
-        self.device.pwrite(byte_offset, array.tobytes())
+        self.device.pwrite(byte_offset, array)
         if telemetry.enabled():
             telemetry.counter("tensor_store_write_bytes_total",
                               array.size * region.dtype.itemsize,
                               region=name)
 
     def read_slice(self, name: str, start: int, count: int) -> np.ndarray:
-        """Read ``count`` elements starting at element ``start``."""
+        """Read ``count`` elements starting at element ``start``.
+
+        Returns a fresh writable array filled by a single device read
+        (legacy double-copy path removed; prefer :meth:`read_slice_into`
+        with a pooled buffer on hot paths).
+        """
+        if count < 0:
+            raise StorageError(
+                f"slice [{start}, {start + count}) outside region {name!r}")
+        out = np.empty(count, dtype=self.region(name).dtype)
+        self.read_slice_into(name, start, count, out)
+        return out
+
+    def read_slice_into(self, name: str, start: int, count: int,
+                        out: np.ndarray) -> np.ndarray:
+        """Read ``count`` elements at ``start`` into ``out[:count]``.
+
+        The zero-copy hot path: the device scatters file bytes directly
+        into the caller-owned buffer (e.g. FPGA DRAM or an arena block).
+        ``out`` must be flat, C-contiguous, writable, of the region's
+        dtype, and hold at least ``count`` elements.  Returns the
+        ``out[:count]`` view.
+        """
         region = self.region(name)
         if start < 0 or count < 0 or start + count > region.num_elements:
             raise StorageError(
                 f"slice [{start}, {start + count}) outside region {name!r}")
+        if not isinstance(out, np.ndarray) or out.ndim != 1:
+            raise StorageError("destination buffer must be a flat ndarray")
+        if out.dtype != region.dtype:
+            raise StorageError(
+                f"region {name!r} holds {region.dtype}, destination "
+                f"buffer is {out.dtype}")
+        if out.size < count:
+            raise StorageError(
+                f"destination buffer of {out.size} elements cannot hold "
+                f"{count}")
+        view = out[:count]
         byte_offset = region.offset + start * region.dtype.itemsize
-        raw = self.device.pread(byte_offset, count * region.dtype.itemsize)
+        self.device.pread_into(byte_offset, view)
         if telemetry.enabled():
             telemetry.counter("tensor_store_read_bytes_total",
                               count * region.dtype.itemsize, region=name)
-        return np.frombuffer(raw, dtype=region.dtype).copy()
+        return view
