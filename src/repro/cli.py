@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands:
+Nine subcommands:
 
 * ``list-models`` — print the analytic model zoo (names, sizes, shapes).
 * ``simulate`` — run one DES training-iteration configuration and print
@@ -8,9 +8,16 @@ Eight subcommands:
 * ``analyze`` — per-channel bottleneck attribution for every method on
   one machine, optionally with an ASCII occupancy timeline.
 * ``top`` — the bottleneck observatory dashboard: per-link utilization
-  bars, the phase x resource ownership table, and a bottleneck verdict,
-  over a fresh simulation or a finished trace file (``--trace``);
-  ``--once`` renders a single frame, otherwise it refreshes live.
+  bars, the phase x resource ownership table, a bottleneck verdict, and
+  a health/alerts pane (SLO rules over the attribution), over a fresh
+  simulation or a finished trace file (``--trace``); ``--once`` renders
+  a single frame, otherwise it refreshes live.  With nothing to
+  attribute it degrades to a "no data yet" notice instead of an error.
+* ``health`` — the step-health monitor: run a functional-engine probe
+  and report per-step signals (steps/s, loss finiteness, retry/arena
+  rates, link utilization) as rolling EWMA windows, the SLO alerts that
+  fired, and the flight-recorder / incident-dump state; one-shot by
+  default, ``--watch`` refreshes live.
 * ``sweep`` — sweep one axis (devices / model / ratio) and tabulate the
   resulting speedups.
 * ``experiment`` — regenerate any paper table or figure by id.
@@ -20,7 +27,10 @@ Eight subcommands:
 * ``bench`` — measure real wall-clock steps/s through the functional
   Smart-Infinity engine, sequential vs thread-pooled multi-CSD, and
   write ``BENCH_parallel.json``; ``--compare`` appends to a history
-  file and fails on a throughput regression.
+  file and fails on a throughput regression.  Each run also records a
+  health summary (signals, alerts, flight-recorder stats) next to its
+  arena stats; ``--no-flight`` disables the recorder to measure its
+  overhead.
 
 Examples::
 
@@ -29,6 +39,8 @@ Examples::
     python -m repro analyze --model gpt2-8.4b --csds 10 --timeline
     python -m repro top --once --model gpt2-4.0b --csds 10
     python -m repro top --once --trace gpt2-4.0b-su_o_c.trace.json
+    python -m repro health --once --steps 5
+    python -m repro health --fault-plan examples/chaos.json --chaos-seed 7
     python -m repro sweep devices --model gpt2-4.0b
     python -m repro experiment fig9
     python -m repro trace --model gpt2-4.0b --csds 6 --method su_o_c
@@ -38,7 +50,10 @@ Examples::
 ``simulate`` and ``analyze`` accept ``--metrics`` to print a
 Prometheus-style exposition of per-channel counters and gauges; ``top``
 extends it with the attribution series and can also write a structured
-JSONL event log (``--jsonl``).
+JSONL event log (``--jsonl``).  ``top`` and ``health`` accept ``--slo``
+with a JSON rules file (see ``examples/slo.json``); chaos runs of
+``trace`` and ``health`` write automatic ``smart-infinity/flightrec/v1``
+dumps on incidents (``--dump-dir``, default ``flightrec/``).
 """
 
 from __future__ import annotations
@@ -50,6 +65,7 @@ import time
 from typing import List, Optional
 
 from . import telemetry
+from .errors import TelemetryError
 from .experiments import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
 from .faults import FaultPlan
 from .hw.gpu import a100_40g, a4000, a5000
@@ -126,6 +142,41 @@ def _build_parser() -> argparse.ArgumentParser:
     top.add_argument("--metrics", action="store_true",
                      help="also print the Prometheus-style exposition "
                           "of the attribution series")
+    top.add_argument("--slo", default=None, metavar="RULES_JSON",
+                     help="extra SLO rules (examples/slo.json shape) "
+                          "applied in the health/alerts pane")
+
+    health = commands.add_parser(
+        "health", help="step-health monitor: per-step signals, SLO "
+                       "alerts, and flight-recorder state from a "
+                       "functional engine probe run")
+    health.add_argument("--csds", type=int, default=2)
+    health.add_argument("--method", default="su_o_c",
+                        choices=METHODS + EXTENSION_METHODS)
+    health.add_argument("--ratio", type=float, default=0.02,
+                        help="SmartComp volume ratio")
+    health.add_argument("--steps", type=int, default=5,
+                        help="probe training steps per report "
+                             "(default 5)")
+    health.add_argument("--workers", type=int, default=None,
+                        help="worker threads for the probe's per-CSD "
+                             "fan-out")
+    health.add_argument("--slo", default=None, metavar="RULES_JSON",
+                        help="SLO rules file (examples/slo.json shape; "
+                             "default: the built-in rules)")
+    health.add_argument("--dump-dir", default="flightrec",
+                        help="directory for automatic flight-recorder "
+                             "incident dumps (default flightrec/)")
+    health.add_argument("--once", action="store_true",
+                        help="render one report and exit (the default; "
+                             "kept explicit for scripting symmetry with "
+                             "top --once)")
+    health.add_argument("--watch", action="store_true",
+                        help="re-run the probe and redraw every "
+                             "--interval seconds until Ctrl-C")
+    health.add_argument("--interval", type=float, default=2.0,
+                        help="refresh period for --watch (default 2)")
+    _add_fault_flags(health)
 
     trace = commands.add_parser(
         "trace", help="export a Chrome trace-event JSON for Perfetto")
@@ -194,6 +245,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="FRACTION",
                        help="relative steps/s drop that fails the gate "
                             "(default 0.2 = 20%%)")
+    bench.add_argument("--no-flight", action="store_true",
+                       help="disable the flight recorder for this bench "
+                            "(to measure its overhead against a default "
+                            "run)")
     _add_fault_flags(bench)
     return parser
 
@@ -296,6 +351,9 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_top(args) -> int:
+    slo_rules = (telemetry.load_slo_rules(args.slo)
+                 if args.slo is not None else None)
+
     def build():
         if args.trace is not None:
             return telemetry.load_chrome_trace(args.trace)
@@ -303,21 +361,41 @@ def _cmd_top(args) -> int:
             model=args.model, csds=args.csds, method=args.method,
             gpu=args.gpu, ratio=args.ratio)
 
-    report = build()
+    def build_frame():
+        """(report-or-None, rendered text) — never raises on bad input.
+
+        A missing/partial/empty trace is the normal state while a run
+        is still warming up, so it renders as "no data yet", not a
+        traceback.
+        """
+        try:
+            report = build()
+        except (TelemetryError, OSError, ValueError, KeyError) as exc:
+            return None, ("bottleneck observatory — no data yet\n"
+                          f"  ({exc})\n"
+                          "  produce a trace with `python -m repro "
+                          "trace`, point --trace at a finished file, or "
+                          "drop --trace for sim mode")
+        return report, telemetry.render_top(report, slo_rules=slo_rules)
+
+    report, frame = build_frame()
     if args.once:
-        print(telemetry.render_top(report))
+        print(frame)
     else:
         # Live mode: rebuild (re-reading a --trace file, so a file being
         # rewritten by a concurrent run updates the view) and redraw
         # until interrupted.
         try:
             while True:
-                print("\x1b[2J\x1b[H" + telemetry.render_top(report),
-                      flush=True)
+                print("\x1b[2J\x1b[H" + frame, flush=True)
                 time.sleep(args.interval)
-                report = build()
+                report, frame = build_frame()
         except KeyboardInterrupt:
             print()
+    if report is None:
+        # Nothing was attributed; the exports below would have nothing
+        # to say either.
+        return 0
     if args.jsonl is not None:
         telemetry.write_events_jsonl(args.jsonl, report)
         print(f"[attribution events: {args.jsonl}]")
@@ -333,7 +411,9 @@ def _cmd_top(args) -> int:
 def _run_functional_proxy(num_csds: int, method: str, ratio: float,
                           workers: Optional[int] = None,
                           fault_plan: Optional[FaultPlan] = None,
-                          steps: int = 1) -> dict:
+                          steps: int = 1,
+                          dump_dir: Optional[str] = None,
+                          slo_rules: Optional[list] = None) -> dict:
     """Train steps of a tiny model through the functional engine.
 
     The proxy exists so the exported trace's wall-clock process contains
@@ -345,8 +425,10 @@ def _run_functional_proxy(num_csds: int, method: str, ratio: float,
     distinct ``csd-worker`` thread lanes.
 
     With a fault plan, the same run doubles as the chaos smoke: retries,
-    backoffs and demotions land in the trace, and the returned
-    ``fault_stats()`` dict summarizes them.
+    backoffs and demotions land in the trace, and the returned dict
+    summarizes them (``fault_stats``) alongside the engine's step-health
+    view (``health``).  ``dump_dir`` enables automatic flight-recorder
+    dumps on incidents; ``slo_rules`` replaces the default SLO rule set.
     """
     import numpy as np
 
@@ -369,13 +451,17 @@ def _run_functional_proxy(num_csds: int, method: str, ratio: float,
         use_transfer_handler=method != "su",
         parallel_csds=workers if workers else proxy_csds,
         num_csds=proxy_csds,
-        fault_plan=fault_plan)
+        fault_plan=fault_plan,
+        flight_dump_dir=dump_dir,
+        slo_rules=slo_rules)
     with tempfile.TemporaryDirectory() as workdir:
         with create_engine("smart", model, lambda m, t, l: m.loss(t, l),
                            workdir, config=config) as engine:
             for _ in range(steps):
                 engine.train_step(tokens, labels)
-            return engine.fault_stats()
+            return {"fault_stats": engine.fault_stats(),
+                    "health": engine.health_summary(),
+                    "num_csds": proxy_csds}
 
 
 def _cmd_trace(args) -> int:
@@ -383,7 +469,7 @@ def _cmd_trace(args) -> int:
     workload = make_workload(get_model(args.model))
     system = default_system(num_csds=args.csds, gpu=_GPUS[args.gpu]())
     fault_plan = _resolve_fault_plan(args)
-    fault_stats = None
+    proxy = None
     with telemetry.session() as session:
         with telemetry.trace_span("des.simulate", model=args.model,
                                   method=args.method, csds=args.csds):
@@ -393,10 +479,12 @@ def _cmd_trace(args) -> int:
             with telemetry.trace_span("functional.proxy",
                                       method=args.method,
                                       chaos=fault_plan is not None):
-                fault_stats = _run_functional_proxy(
+                proxy = _run_functional_proxy(
                     args.csds, args.method, args.ratio,
                     workers=args.workers, fault_plan=fault_plan,
-                    steps=3 if fault_plan is not None else 1)
+                    steps=3 if fault_plan is not None else 1,
+                    dump_dir="flightrec" if fault_plan is not None
+                    else None)
         telemetry.record_channel_metrics(
             session.registry, trace.fabric.all_channels(),
             horizon=trace.breakdown.total, method=args.method)
@@ -412,12 +500,82 @@ def _cmd_trace(args) -> int:
           f"{sum(len(c.records) for c in trace.fabric.all_channels())} "
           f"sim-time transfers, {len(trace.phase_windows)} phase "
           f"window(s)")
-    if fault_stats is not None and fault_plan is not None:
-        print(_render_fault_stats(fault_stats))
+    if proxy is not None and fault_plan is not None:
+        print(_render_fault_stats(proxy["fault_stats"]))
+        for path in proxy["health"].get("dumps", []):
+            print(f"[flight dump: {path}]")
     print("open it at https://ui.perfetto.dev or chrome://tracing")
     if args.metrics:
         print()
         print(session.registry.render_prometheus(), end="")
+    return 0
+
+
+def _render_health_report(result: dict) -> str:
+    """Render a proxy run's health summary dict for the terminal."""
+    health = result["health"]
+    signals = health["signals"]
+    lines = [f"step-health signals (EWMA over {result['num_csds']}-CSD "
+             "proxy run):"]
+    if not signals:
+        lines.append("  no steps observed")
+    else:
+        width = max(len(name) for name in signals)
+        lines.append(f"  {'signal'.ljust(width)}  {'last':>12}  "
+                     f"{'ewma':>12}  samples")
+        for name in sorted(signals):
+            row = signals[name]
+            lines.append(f"  {name.ljust(width)}  {row['last']:>12.4g}  "
+                         f"{row['ewma']:>12.4g}  {row['samples']:>7d}")
+    lines.append("")
+    alerts = health["alerts"]
+    if alerts:
+        lines.append(f"alerts ({len(alerts)} fired):")
+        for alert in alerts:
+            step = (f" @step {alert['step']}"
+                    if alert.get("step") is not None else "")
+            lines.append(f"  [{alert['severity']}] {alert['rule']}{step}: "
+                         f"{alert['message']}")
+    else:
+        lines.append("alerts: none fired")
+    flight_stats = health.get("flight")
+    if flight_stats:
+        lines.append(
+            f"flight recorder: {flight_stats['events_retained']} events "
+            f"retained of {flight_stats['events_recorded']} recorded "
+            f"({flight_stats['events_dropped']} dropped, "
+            f"{flight_stats['workers']} worker segment(s))")
+    for path in health.get("dumps", []):
+        lines.append(f"  [flight dump: {path}]")
+    lines.append("")
+    lines.append(_render_fault_stats(result["fault_stats"]))
+    return "\n".join(lines)
+
+
+def _cmd_health(args) -> int:
+    slo_rules = None
+    if args.slo is not None:
+        slo_rules = [rule.to_dict()
+                     for rule in telemetry.load_slo_rules(args.slo)]
+    fault_plan = _resolve_fault_plan(args)
+
+    def probe() -> dict:
+        with telemetry.session():
+            return _run_functional_proxy(
+                args.csds, args.method, args.ratio, workers=args.workers,
+                fault_plan=fault_plan, steps=args.steps,
+                dump_dir=args.dump_dir, slo_rules=slo_rules)
+
+    if args.watch and not args.once:
+        try:
+            while True:
+                print("\x1b[2J\x1b[H" + _render_health_report(probe()),
+                      flush=True)
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            print()
+        return 0
+    print(_render_health_report(probe()))
     return 0
 
 
@@ -441,7 +599,8 @@ def _cmd_bench(args) -> int:
         return 2
     report = run_parallel_bench(quick=args.quick, out_path=args.out,
                                 csd_counts=csd_counts, steps=args.steps,
-                                fault_plan=_resolve_fault_plan(args))
+                                fault_plan=_resolve_fault_plan(args),
+                                flight=not args.no_flight)
     print(render_report(report))
     print(f"[saved to {args.out}]")
     if args.compare:
@@ -488,6 +647,7 @@ _HANDLERS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
     "top": _cmd_top,
+    "health": _cmd_health,
     "experiment": _cmd_experiment,
     "trace": _cmd_trace,
     "bench": _cmd_bench,

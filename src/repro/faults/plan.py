@@ -42,6 +42,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 from .. import telemetry
 from ..errors import (DeviceFailedError, FaultInjectionError,
                       RetryExhaustedError, TrainingError)
+from ..telemetry import flight
 from .retry import RetryPolicy
 
 #: Fault kinds a rule may inject.
@@ -210,8 +211,14 @@ def _fault_counter(name: str, amount: float = 1.0,
 
     Chaos accounting lands in the same exposition as everything else —
     one scrape shows channel traffic, attribution, and fault activity
-    side by side.  No-op when telemetry is off.
+    side by side.  No-op when telemetry is off — except that every fault
+    event is also appended to the installed flight recorder, which works
+    with or without a telemetry session (the black box must capture the
+    seconds before a dropout even when nobody asked for a trace).
     """
+    if flight._recorder is not None:
+        flight._recorder.record("fault", name,
+                                dict(labels, amount=amount))
     session = telemetry.active()
     if session is None:
         return

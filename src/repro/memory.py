@@ -38,6 +38,7 @@ import numpy as np
 
 from . import telemetry
 from .errors import ArenaError
+from .telemetry import flight
 
 #: Smallest size class, in elements: sub-256-element checkouts share one
 #: class so tiny requests do not fragment the pool.
@@ -142,6 +143,13 @@ class BufferArena:
             _total_checkouts += 1
             if allocated:
                 _total_allocations += 1
+        if allocated:
+            # Cold-path allocations only: the flight recorder captures
+            # the moments the zero-steady-state-allocation invariant is
+            # at risk, without touching the warm path at all.
+            flight.record_event("arena", "alloc", arena=self.name,
+                                nbytes=int(base.nbytes),
+                                size_class=cls, dtype=dt.str)
         if telemetry.enabled():
             telemetry.gauge("arena_bytes_in_use", in_use, arena=self.name)
             telemetry.gauge("arena_high_water_bytes", high, arena=self.name)

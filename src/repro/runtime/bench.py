@@ -99,6 +99,9 @@ class BenchRun:
     internal_write_bytes: int
     param_checksum: str
     faults: Optional[Dict[str, object]] = None
+    #: Condensed step-health view (alert count + key EWMA signals), or
+    #: ``None`` when the flight recorder/health monitor was disabled.
+    health: Optional[Dict[str, object]] = None
 
 
 def _loss_fn(model, tokens, labels):
@@ -111,14 +114,29 @@ def _checksum(params: np.ndarray) -> str:
     return hashlib.sha256(params.tobytes()).hexdigest()[:16]
 
 
+def _condense_health(summary: Dict[str, object]) -> Dict[str, object]:
+    """Boil an engine health summary down to the bench-report essentials."""
+    signals = summary["signals"]
+    keep = ("steps_per_s", "loss", "arena_hit_rate", "retries_step",
+            "dropouts_step")
+    return {
+        "alerts": len(summary["alerts"]),
+        "alert_rules": sorted({a["rule"] for a in summary["alerts"]}),
+        "signals": {name: round(signals[name]["ewma"], 6)
+                    for name in keep if name in signals},
+        "flight": summary.get("flight"),
+    }
+
+
 def _run_one(workload: BenchWorkload, num_csds: int, workers: int,
-             fault_plan: Optional[FaultPlan] = None) -> BenchRun:
+             fault_plan: Optional[FaultPlan] = None,
+             flight: bool = True) -> BenchRun:
     config = TrainingConfig(
         optimizer="adam", optimizer_kwargs={"lr": 1e-3},
         subgroup_elements=workload.subgroup_elements,
         kernel_chunk_elements=workload.kernel_chunk_elements,
         parallel_csds=workers, num_csds=num_csds,
-        fault_plan=fault_plan)
+        fault_plan=fault_plan, flight_recorder=flight)
     tokens, labels = workload.make_batch()
     with tempfile.TemporaryDirectory(prefix="bench-csd") as workdir:
         with create_engine("smart", workload.make_model(), _loss_fn,
@@ -132,6 +150,7 @@ def _run_one(workload: BenchWorkload, num_csds: int, workers: int,
             timed = engine.meter.iterations[-workload.steps:]
             params = engine.space.gather_params()
             fault_stats = engine.fault_stats() if fault_plan else None
+            health = _condense_health(engine.health_summary())
     return BenchRun(
         num_csds=num_csds, workers=workers, steps=workload.steps,
         wall_seconds=wall,
@@ -141,7 +160,8 @@ def _run_one(workload: BenchWorkload, num_csds: int, workers: int,
         internal_read_bytes=sum(t.internal_reads for t in timed),
         internal_write_bytes=sum(t.internal_writes for t in timed),
         param_checksum=_checksum(params),
-        faults=fault_stats)
+        faults=fault_stats,
+        health=health)
 
 
 def _measure_smartcomp_cache(workload: BenchWorkload,
@@ -188,6 +208,7 @@ def run_parallel_bench(quick: bool = False,
                        csd_counts: Sequence[int] = (1, 2, 4),
                        steps: Optional[int] = None,
                        fault_plan: Optional[FaultPlan] = None,
+                       flight: bool = True,
                        ) -> Dict[str, object]:
     """Run the full benchmark matrix and (optionally) write the report.
 
@@ -209,12 +230,12 @@ def run_parallel_bench(quick: bool = False,
     speedups: Dict[str, Dict[str, float]] = {}
     for num_csds in csd_counts:
         sequential = _run_one(workload, num_csds, workers=1,
-                              fault_plan=fault_plan)
+                              fault_plan=fault_plan, flight=flight)
         runs.append(sequential)
         if num_csds == 1:
             continue
         parallel = _run_one(workload, num_csds, workers=num_csds,
-                            fault_plan=fault_plan)
+                            fault_plan=fault_plan, flight=flight)
         runs.append(parallel)
         if parallel.param_checksum != sequential.param_checksum:
             raise AssertionError(
@@ -236,6 +257,7 @@ def run_parallel_bench(quick: bool = False,
     report: Dict[str, object] = {
         "schema": SCHEMA,
         "quick": quick,
+        "flight_recorder": flight,
         "environment": {
             "cpu_count": os.cpu_count() or 1,
             "usable_cpus": usable,
@@ -304,6 +326,17 @@ def render_report(report: Dict[str, object]) -> str:
             f"{arena['allocations']} allocations "
             f"({100.0 * arena['hit_rate']:.1f}% pooled), "
             f"high-water {arena['high_water_bytes']} B")
+    healths = [run["health"] for run in report["runs"]
+               if run.get("health")]
+    if healths:
+        alerts = sum(entry["alerts"] for entry in healths)
+        rules = sorted({rule for entry in healths
+                        for rule in entry["alert_rules"]})
+        suffix = f" ({', '.join(rules)})" if rules else ""
+        lines.append(
+            f"  health: {alerts} alert(s) across "
+            f"{len(healths)} run(s){suffix}, flight recorder "
+            f"{'on' if report.get('flight_recorder', True) else 'off'}")
     if report.get("fault_plan") is not None:
         injected = sum(sum(run["faults"]["injected"].values())
                        for run in report["runs"] if run.get("faults"))

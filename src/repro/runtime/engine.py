@@ -19,7 +19,9 @@ from __future__ import annotations
 import contextlib
 import difflib
 import json
+import math
 import os
+import time
 import warnings
 from dataclasses import dataclass, field, fields, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -30,6 +32,10 @@ from .. import telemetry
 from ..errors import TrainingError
 from ..faults import FaultInjector, FaultPlan
 from ..memory import ArenaStats, aggregate_arena_stats
+from ..telemetry import flight
+from ..telemetry.flight import FlightRecorder, IncidentDumper
+from ..telemetry.health import (Alert, DEFAULT_SLO_RULES, RulesEngine,
+                                StepHealthMonitor, parse_rules)
 from ..nn.modules import Module
 from ..nn.precision import (LossScaler, clip_gradients, has_overflow)
 from ..optim import make_optimizer
@@ -88,6 +94,18 @@ class TrainingConfig:
     #: Fault-injection plan for the storage/CSD fleet (None = no faults).
     #: See :mod:`repro.faults` for the failure model.
     fault_plan: Optional[FaultPlan] = None
+    #: Always-on flight recorder (:mod:`repro.telemetry.flight`): a ring
+    #: of the last ``flight_capacity`` events per worker thread.
+    flight_recorder: bool = True
+    flight_capacity: int = 512
+    #: Directory for automatic incident dumps (flightrec/v1 JSONL).
+    #: None disables *file* dumps — alerts still fire and land in the
+    #: ring — so library/test use never writes files unasked.
+    flight_dump_dir: Optional[str] = None
+    #: Declarative SLO/anomaly rules as raw dicts (the shape of
+    #: ``examples/slo.json``); None applies
+    #: :data:`repro.telemetry.health.DEFAULT_SLO_RULES`.
+    slo_rules: Optional[List[Dict]] = None
 
     # ------------------------------------------------------------------
     # DeepSpeed-style config files (§VI: "enabled by simply specifying an
@@ -201,6 +219,30 @@ class MixedPrecisionTrainer:
         self.loss_history: List[float] = []
         self._lr_schedule: Optional[Callable[[int], float]] = None
 
+        # Step-health monitoring + SLO rules (repro.telemetry.health):
+        # fed once per step by _run_step, evaluated immediately after.
+        self.health = StepHealthMonitor()
+        raw_rules = (config.slo_rules if config.slo_rules is not None
+                     else list(DEFAULT_SLO_RULES))
+        self.rules = RulesEngine(parse_rules(raw_rules))
+        self.alerts: List[Alert] = []
+
+        # The always-on flight recorder: this engine installs its own
+        # and restores whatever was active before on close().
+        self.flight: Optional[FlightRecorder] = None
+        self._flight_previous: Optional[FlightRecorder] = None
+        self._incidents: Optional[IncidentDumper] = None
+        if config.flight_recorder:
+            self.flight = FlightRecorder(
+                capacity_per_worker=config.flight_capacity)
+            self._flight_previous = flight.install(self.flight)
+            if config.flight_dump_dir is not None:
+                self._incidents = IncidentDumper(self.flight,
+                                                 config.flight_dump_dir)
+        self._fault_snapshot = self.fault_stats()
+        self._arena_snapshot = aggregate_arena_stats()
+        self._span_cursor = 0
+
     @property
     def num_params(self) -> int:
         return self.space.total_elements
@@ -231,6 +273,149 @@ class MixedPrecisionTrainer:
         zero-steady-state-allocation invariant.
         """
         return aggregate_arena_stats()
+
+    # ------------------------------------------------------------------
+    # step driver: wall-clock timing, health signals, incident capture
+    # ------------------------------------------------------------------
+    def _run_step(self, batches: Sequence[Sequence[np.ndarray]]
+                  ) -> "StepResult":
+        """Run one step via the engine's ``_step_impl`` under the
+        health/flight envelope.
+
+        Crashes (any exception escaping the step) are captured as an
+        incident — alert event in the ring, then an automatic dump —
+        *before* re-raising, so the flight recorder's last entries show
+        what was in flight.  Successful steps feed the health monitor
+        and evaluate the SLO rules.
+        """
+        begin = time.perf_counter()
+        try:
+            result = self._step_impl(batches)
+        except BaseException as exc:
+            self._record_incident(
+                "engine_exception",
+                key=f"engine_exception:{type(exc).__name__}",
+                message=(f"unhandled {type(exc).__name__} escaped the "
+                         f"train step: {exc}"),
+                error=f"{type(exc).__name__}: {exc}")
+            raise
+        self._observe_step(result, time.perf_counter() - begin)
+        return result
+
+    def _record_incident(self, kind: str, key: str, message: str,
+                         severity: str = "critical",
+                         **attrs: object) -> Alert:
+        """A synthetic (non-rule) alert: dropout, crash, retry budget.
+
+        Records the alert into the flight ring first, then dumps — so
+        the dump's tail contains both the triggering fault event and
+        the alert itself.
+        """
+        alert = Alert(rule=kind, signal=kind, value=1.0,
+                      severity=severity, message=message,
+                      step=self.step_count, kind="incident")
+        self.alerts.append(alert)
+        flight.record_event("alert", kind, severity=severity,
+                            message=message, step=self.step_count,
+                            incident=key, **attrs)
+        telemetry.counter("health_alerts_total", rule=kind,
+                          severity=severity)
+        if self._incidents is not None:
+            self._incidents.dump_once(key, reason=kind,
+                                      step=self.step_count)
+        return alert
+
+    def _observe_step(self, result: "StepResult", wall: float) -> None:
+        """Feed one finished step into the health monitor + SLO rules."""
+        faults = self.fault_stats()
+        prev = self._fault_snapshot
+        self._fault_snapshot = faults
+        arena = aggregate_arena_stats()
+        arena_prev = self._arena_snapshot
+        self._arena_snapshot = arena
+        checkouts_delta = arena.checkouts - arena_prev.checkouts
+        alloc_delta = arena.allocations - arena_prev.allocations
+        hit_rate = (1.0 - alloc_delta / checkouts_delta
+                    if checkouts_delta else 1.0)
+        signals: Dict[str, float] = {
+            "steps_per_s": 1.0 / wall if wall > 0.0 else 0.0,
+            "step_seconds": wall,
+            "loss": result.loss,
+            "loss_finite": 1.0 if math.isfinite(result.loss) else 0.0,
+            "grad_norm": result.grad_norm,
+            "overflow_step": 1.0 if result.overflow else 0.0,
+            "retries_step": float(faults["retries"] - prev["retries"]),
+            "backoff_s_step": float(faults["backoff_seconds"]
+                                    - prev["backoff_seconds"]),
+            "dropouts_step": float(faults["dropouts"] - prev["dropouts"]),
+            "degraded_steps": float(faults["degraded_steps"]),
+            "arena_hit_rate": hit_rate,
+        }
+        signals.update(self._utilization_signals())
+        self.health.observe(**signals)
+        flight.record_event(
+            "step", "train_step", step=result.step, loss=result.loss,
+            steps_per_s=signals["steps_per_s"],
+            overflow=result.overflow)
+        for alert in self.rules.evaluate(self.health, step=result.step):
+            self.alerts.append(alert)
+            flight.record_event("alert", alert.rule,
+                                severity=alert.severity,
+                                signal=alert.signal, value=alert.value,
+                                message=alert.message, step=alert.step)
+            telemetry.counter("health_alerts_total", rule=alert.rule,
+                              severity=alert.severity)
+            if self._incidents is not None:
+                self._incidents.dump_once(f"rule:{alert.rule}",
+                                          reason="slo-breach",
+                                          rule=alert.rule,
+                                          step=result.step)
+
+    def _utilization_signals(self) -> Dict[str, float]:
+        """Per-resource ``util:*`` signals from this step's spans.
+
+        Only meaningful when a telemetry session is active: the spans
+        recorded since the previous observation are one step's worth,
+        and attributing them yields host-link / per-CSD utilization.
+        """
+        session = telemetry.active()
+        if session is None:
+            return {}
+        spans = session.tracer.spans
+        cursor = self._span_cursor
+        fresh = spans[cursor:]
+        self._span_cursor = cursor + len(fresh)
+        if not fresh:
+            return {}
+        try:
+            attribution = telemetry.attribute_spans(fresh)
+        except Exception:
+            # Health sampling must never kill training; a window that
+            # does not attribute (no phase spans, odd nesting) is
+            # simply skipped.
+            return {}
+        return {f"util:{name}": usage.utilization
+                for name, usage in attribution.usage.items()}
+
+    def health_summary(self) -> Dict[str, object]:
+        """Signals, alerts, and flight-recorder state in one dict."""
+        return {
+            "signals": self.health.snapshot(),
+            "alerts": [alert.to_dict() for alert in self.alerts],
+            "flight": self.flight.stats() if self.flight else None,
+            "dumps": self.flight_dumps(),
+        }
+
+    def flight_dumps(self) -> List[str]:
+        """Paths of the automatic incident dumps written so far."""
+        return self._incidents.paths if self._incidents is not None \
+            else []
+
+    def _teardown_flight(self) -> None:
+        """Uninstall this engine's recorder (idempotent, close paths)."""
+        if self.flight is not None:
+            flight.replace(self.flight, self._flight_previous)
+            self._flight_previous = None
 
     # ------------------------------------------------------------------
     # learning-rate scheduling
@@ -357,6 +542,7 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
             for member in members:
                 member.close()
             self._closed = True
+            self._teardown_flight()
             raise
 
     # ------------------------------------------------------------------
@@ -369,8 +555,8 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
         """One iteration with gradient accumulation over micro-batches."""
         return self._run_step([tuple(batch) for batch in batches])
 
-    def _run_step(self, batches: Sequence[Sequence[np.ndarray]]
-                  ) -> StepResult:
+    def _step_impl(self, batches: Sequence[Sequence[np.ndarray]]
+                   ) -> StepResult:
         with telemetry.trace_span("iteration", engine="baseline") as span:
             self.meter.begin_iteration()
             with telemetry.trace_span("forward_backward"):
@@ -448,6 +634,7 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
         if self._closed:
             return
         self._closed = True
+        self._teardown_flight()
         if self.volume is not None:
             self.volume.close()
 

@@ -51,6 +51,7 @@ class HostOffloadEngine(MixedPrecisionTrainer):
         states_bytes = 4 * total * self.optimizer.states_per_param
         if host_memory_bytes is not None and states_bytes > \
                 host_memory_bytes:
+            self._teardown_flight()
             raise TrainingError(
                 f"optimizer states need {states_bytes} B but host memory "
                 f"is {host_memory_bytes} B — this is exactly the wall "
@@ -74,7 +75,7 @@ class HostOffloadEngine(MixedPrecisionTrainer):
         """One iteration with gradient accumulation over micro-batches."""
         return self._run_step([tuple(batch) for batch in batches])
 
-    def _run_step(self, batches) -> StepResult:
+    def _step_impl(self, batches) -> StepResult:
         with telemetry.trace_span("iteration", engine="host") as span:
             self.meter.begin_iteration()
             with telemetry.trace_span("forward_backward"):
@@ -136,4 +137,5 @@ class HostOffloadEngine(MixedPrecisionTrainer):
         if self._closed:
             return
         self._closed = True
+        self._teardown_flight()
         self._pool.close()

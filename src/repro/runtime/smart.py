@@ -209,7 +209,7 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         """One iteration with gradient accumulation over micro-batches."""
         return self._run_step([tuple(batch) for batch in batches])
 
-    def _run_step(self, batches) -> StepResult:
+    def _step_impl(self, batches) -> StepResult:
         with telemetry.trace_span("iteration", engine="smart",
                                   num_csds=self.num_csds) as span:
             self.meter.begin_iteration()
@@ -448,6 +448,16 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
             self.demotions.append((index, str(cause)))
             telemetry.counter("faults_demotions_total", device=index)
             device.close()
+        # Incident capture happens after the demotion span closes so the
+        # flight dump's tail reads: fault event -> demotion span -> alert.
+        kind = ("retry_exhausted"
+                if isinstance(cause, RetryExhaustedError)
+                else "device_dropout")
+        self._record_incident(
+            kind, key=f"{kind}:device{index}",
+            message=(f"device {index} demoted to host-CPU path "
+                     f"({type(cause).__name__}: {cause})"),
+            device=index, cause=type(cause).__name__)
 
     def _recover_in_flight(self, index: int, masters: np.ndarray,
                            states: Dict[str, np.ndarray],
@@ -697,6 +707,7 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
     # ------------------------------------------------------------------
     def _release(self, abandon: bool = False) -> None:
         """Release pool, handlers and devices (safe on partial state)."""
+        self._teardown_flight()
         if self._pool is not None:
             self._pool.close()
         for handler in self.handlers:

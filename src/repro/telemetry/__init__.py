@@ -16,7 +16,14 @@ repository (the question the paper's whole evaluation answers):
   exactly, plus the bottleneck verdict;
 * :mod:`~repro.telemetry.profiler` — the bottleneck observatory built
   on attrib: ``repro top`` rendering, Chrome-trace re-import, JSONL
-  event log, and attribution metrics recording.
+  event log, and attribution metrics recording;
+* :mod:`~repro.telemetry.flight` — the always-on flight recorder:
+  per-worker ring buffers of recent span/metric/fault/arena events,
+  merged on demand into one ordered ``smart-infinity/flightrec/v1``
+  JSONL snapshot, with once-per-incident automatic dumps;
+* :mod:`~repro.telemetry.health` — per-step health signals as rolling
+  EWMA windows plus the declarative SLO/anomaly rules engine
+  (threshold, rate-of-change, EWMA z-score) behind ``repro health``.
 
 Telemetry is **off by default** and guaranteed non-perturbing: every
 instrumented call site goes through the module-level helpers below,
@@ -55,6 +62,12 @@ from .attrib import (Attribution, BottleneckVerdict, COMPUTE,
 from .export import (channels_to_records, chrome_trace, phase_events,
                      record_channel_metrics, record_events, span_events,
                      write_chrome_trace)
+from .flight import (FLIGHT_SCHEMA, FlightRecorder, IncidentDumper,
+                     record_event as record_flight_event)
+from .health import (Alert, DEFAULT_SLO_RULES, Ewma, Rule, RulesEngine,
+                     SignalWindow, StepHealthMonitor,
+                     evaluate_attribution, load_slo_rules, parse_rules,
+                     render_alerts)
 from .metrics import (Counter, Gauge, Histogram, LATENCY_BUCKETS_US,
                       MetricsRegistry, SIZE_BUCKETS_BYTES)
 from .profiler import (EVENTS_SCHEMA, ProfileReport, load_chrome_trace,
@@ -63,20 +76,35 @@ from .profiler import (EVENTS_SCHEMA, ProfileReport, load_chrome_trace,
 from .spans import NULL_SPAN, Span, SpanToken, SpanTracer
 
 __all__ = [
+    "Alert",
     "Attribution",
     "BottleneckVerdict",
     "COMPUTE",
     "Counter",
+    "DEFAULT_SLO_RULES",
     "EVENTS_SCHEMA",
+    "Ewma",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "IncidentDumper",
     "ProfileReport",
     "ResourceUsage",
+    "Rule",
+    "RulesEngine",
+    "SignalWindow",
+    "StepHealthMonitor",
     "attribute",
     "attribute_channels",
     "attribute_spans",
+    "evaluate_attribution",
     "load_chrome_trace",
+    "load_slo_rules",
     "merge_intervals",
+    "parse_rules",
     "profile_scenario",
     "record_attribution_metrics",
+    "record_flight_event",
+    "render_alerts",
     "render_top",
     "write_events_jsonl",
     "Gauge",

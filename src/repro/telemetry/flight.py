@@ -1,0 +1,304 @@
+"""Flight recorder: an always-on black box for training runs.
+
+The rest of the telemetry stack explains a run *after* it ends — trace
+export, attribution, the bench gate.  The flight recorder answers the
+production question those leave open: *what were the last few hundred
+things that happened before a device dropped out / a step crashed?*
+
+Design, in the order the requirements force it:
+
+* **per-worker ring segments** — every thread that records gets its own
+  fixed-size ring (:class:`_RingSegment`).  Appends are lock-free-ish:
+  the owning thread is the only writer, so an append is two slot/index
+  stores with no lock taken (snapshots tolerate the resulting benign
+  races).  Memory is bounded by ``workers x capacity`` events, ever.
+* **global sequence numbers** — each event draws from one atomic
+  ``itertools.count``, so :meth:`FlightRecorder.dump` can merge the
+  per-worker segments into a single totally-ordered timeline without
+  trusting cross-thread clock comparisons.
+* **merge-on-dump** — segments are only reconciled when someone asks.
+  The per-worker-segment + merge design is deliberately process-agnostic:
+  a multiprocessing backend can ship each worker's segment over a pipe
+  and feed the same merge.
+* **once-per-incident dumps** — :class:`IncidentDumper` writes the
+  ``smart-infinity/flightrec/v1`` JSONL snapshot at most once per
+  incident key, so a dropout that degrades every subsequent step does
+  not bury the interesting dump under 500 identical ones.
+
+Event sources (all cheap, all optional):
+
+* span ends (:mod:`~repro.telemetry.spans`, when a telemetry session is
+  active), including the error status of spans that exited via exception;
+* fault injections, retries, backoffs and dropouts (:mod:`repro.faults`,
+  recorded even without a telemetry session);
+* arena cold-path allocations (:mod:`repro.memory`);
+* per-step health beacons and alerts (:mod:`~repro.telemetry.health`
+  via the engines).
+
+The module-level :func:`record_event` is the only hook call sites need;
+it reduces to one global ``None`` check when no recorder is installed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import re
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: Schema marker of the flight-recorder JSONL snapshot.
+FLIGHT_SCHEMA = "smart-infinity/flightrec/v1"
+
+#: Default ring capacity per worker thread (events, not bytes).
+DEFAULT_CAPACITY = 512
+
+#: Event kinds the recorder understands (free-form names within a kind).
+EVENT_KINDS = ("span", "metric", "fault", "arena", "step", "alert")
+
+# One event is a tuple — cheaper than a dataclass on the hot path:
+#   (seq, ts, kind, name, attrs-or-None)
+_Event = Tuple[int, float, str, str, Optional[Dict[str, object]]]
+
+
+class _RingSegment:
+    """One worker thread's fixed-size event ring.
+
+    Single-writer by construction (only the owning thread appends), so
+    :meth:`append` takes no lock.  :meth:`snapshot` may run on another
+    thread; it copies the slot list first and tolerates the benign race
+    of an append landing mid-copy (at worst one event is seen twice or
+    not yet — never a torn event, since slot stores are atomic).
+    """
+
+    __slots__ = ("capacity", "thread_id", "thread_name", "_slots",
+                 "written")
+
+    def __init__(self, capacity: int, thread_id: int,
+                 thread_name: str) -> None:
+        self.capacity = capacity
+        self.thread_id = thread_id
+        self.thread_name = thread_name
+        self._slots: List[Optional[_Event]] = [None] * capacity
+        self.written = 0
+
+    def append(self, event: _Event) -> None:
+        self._slots[self.written % self.capacity] = event
+        self.written += 1
+
+    @property
+    def dropped(self) -> int:
+        return max(0, self.written - self.capacity)
+
+    def snapshot(self) -> List[_Event]:
+        """The retained events, oldest first."""
+        written = self.written
+        slots = list(self._slots)
+        if written <= self.capacity:
+            return [e for e in slots[:written] if e is not None]
+        head = written % self.capacity
+        ordered = slots[head:] + slots[:head]
+        return [e for e in ordered if e is not None]
+
+
+class FlightRecorder:
+    """Fixed-footprint recorder of recent events, per worker thread.
+
+    ``clock`` is injectable for deterministic tests (monotonic float
+    seconds); timestamps are relative to the recorder's creation.
+    """
+
+    def __init__(self, capacity_per_worker: int = DEFAULT_CAPACITY,
+                 clock=time.perf_counter) -> None:
+        if capacity_per_worker < 1:
+            raise ValueError(
+                f"flight recorder capacity must be >= 1, got "
+                f"{capacity_per_worker}")
+        self.capacity_per_worker = capacity_per_worker
+        self._clock = clock
+        self._epoch = clock()
+        self._seq = itertools.count()  # next() is atomic in CPython
+        self._local = threading.local()
+        self._segments: List[_RingSegment] = []
+        self._segments_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # the hot path
+    # ------------------------------------------------------------------
+    def _segment(self) -> _RingSegment:
+        segment = getattr(self._local, "segment", None)
+        if segment is None:
+            thread = threading.current_thread()
+            segment = _RingSegment(self.capacity_per_worker,
+                                   thread.ident or 0, thread.name)
+            with self._segments_lock:
+                self._segments.append(segment)
+            self._local.segment = segment
+        return segment
+
+    def record(self, kind: str, name: str,
+               attrs: Optional[Dict[str, object]] = None,
+               **extra: object) -> None:
+        """Append one event to the calling thread's ring segment.
+
+        ``attrs`` takes a pre-built dict (e.g. a span's attributes,
+        whose keys must not collide with this signature); ``extra``
+        kwargs are merged over it.
+        """
+        if extra:
+            merged = dict(attrs) if attrs else {}
+            merged.update(extra)
+            attrs = merged
+        self._segment().append(
+            (next(self._seq), self._clock() - self._epoch, kind, name,
+             attrs or None))
+
+    # ------------------------------------------------------------------
+    # merge-on-dump
+    # ------------------------------------------------------------------
+    def events(self) -> List[Dict[str, object]]:
+        """Merged snapshot of every worker's segment, totally ordered.
+
+        Ordering is by global sequence number — the one total order that
+        is consistent across worker threads regardless of clock skew
+        between the timestamp read and the append.
+        """
+        with self._segments_lock:
+            segments = list(self._segments)
+        merged: List[Tuple[_Event, _RingSegment]] = []
+        for segment in segments:
+            for event in segment.snapshot():
+                merged.append((event, segment))
+        merged.sort(key=lambda pair: pair[0][0])
+        return [{
+            "type": "event",
+            "seq": seq, "ts": ts, "kind": kind, "name": name,
+            "thread": segment.thread_name,
+            "attrs": attrs or {},
+        } for (seq, ts, kind, name, attrs), segment in merged]
+
+    def stats(self) -> Dict[str, object]:
+        with self._segments_lock:
+            segments = list(self._segments)
+        return {
+            "workers": len(segments),
+            "capacity_per_worker": self.capacity_per_worker,
+            "events_recorded": sum(s.written for s in segments),
+            "events_retained": sum(min(s.written, s.capacity)
+                                   for s in segments),
+            "events_dropped": sum(s.dropped for s in segments),
+        }
+
+    def dump(self, reason: str = "manual",
+             **meta: object) -> List[Dict[str, object]]:
+        """The full snapshot document as a list of JSONL records."""
+        events = self.events()
+        head: Dict[str, object] = {
+            "type": "meta", "schema": FLIGHT_SCHEMA, "reason": reason,
+            **self.stats(), **meta,
+        }
+        return [head] + events
+
+    def dump_jsonl(self, path: str, reason: str = "manual",
+                   **meta: object) -> str:
+        """Write the ``smart-infinity/flightrec/v1`` snapshot; returns path."""
+        records = self.dump(reason=reason, **meta)
+        with open(path, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True,
+                                        default=str) + "\n")
+        return path
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe fragment of an incident key."""
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", text).strip("-") or "incident"
+
+
+class IncidentDumper:
+    """Writes at most one flight-recorder dump per incident key.
+
+    A dropped-out device degrades every later step; without dedup the
+    interesting snapshot (the seconds *around* the dropout) would be
+    rewritten hundreds of times.  ``limit`` bounds total files per run.
+    """
+
+    def __init__(self, recorder: FlightRecorder, directory: str,
+                 limit: int = 16) -> None:
+        self.recorder = recorder
+        self.directory = directory
+        self.limit = limit
+        self._lock = threading.Lock()
+        self._paths: Dict[str, str] = {}
+
+    @property
+    def paths(self) -> List[str]:
+        with self._lock:
+            return list(self._paths.values())
+
+    def dump_once(self, key: str, reason: str,
+                  **meta: object) -> Optional[str]:
+        """Dump for ``key`` unless it already fired; returns the path."""
+        with self._lock:
+            if key in self._paths or len(self._paths) >= self.limit:
+                return None
+            index = len(self._paths)
+            path = os.path.join(self.directory,
+                                f"flightrec-{index:03d}-{_slug(key)}.jsonl")
+            # Reserve before the (slow) write so a racing second incident
+            # with the same key sees it as already handled.
+            self._paths[key] = path
+        os.makedirs(self.directory, exist_ok=True)
+        return self.recorder.dump_jsonl(path, reason=reason, incident=key,
+                                        **meta)
+
+
+# ----------------------------------------------------------------------
+# the installed recorder — the one global every hook checks
+# ----------------------------------------------------------------------
+_recorder: Optional[FlightRecorder] = None
+
+
+def install(recorder: Optional[FlightRecorder]
+            ) -> Optional[FlightRecorder]:
+    """Make ``recorder`` the process's active recorder; returns previous."""
+    global _recorder
+    previous, _recorder = _recorder, recorder
+    return previous
+
+
+def replace(current: Optional[FlightRecorder],
+            previous: Optional[FlightRecorder]) -> None:
+    """Restore ``previous`` iff ``current`` is still installed.
+
+    The engines' close() path: an engine only tears down the recorder it
+    installed, so overlapping engine lifetimes never clobber each other.
+    """
+    global _recorder
+    if _recorder is current:
+        _recorder = previous
+
+
+def active_recorder() -> Optional[FlightRecorder]:
+    return _recorder
+
+
+def record_event(kind: str, name: str, **attrs: object) -> None:
+    """Record into the installed recorder (one global check when off)."""
+    if _recorder is not None:
+        _recorder.record(kind, name, attrs or None)
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "EVENT_KINDS",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "IncidentDumper",
+    "active_recorder",
+    "install",
+    "record_event",
+    "replace",
+]

@@ -135,8 +135,14 @@ def _bar(fraction: float, width: int = 20) -> str:
     return "#" * filled + "-" * (width - filled)
 
 
-def render_top(report: ProfileReport, top: int = 12) -> str:
-    """The ``repro top`` dashboard: bars, ownership table, verdict."""
+def render_top(report: ProfileReport, top: int = 12,
+               slo_rules=None) -> str:
+    """The ``repro top`` dashboard: bars, ownership, verdict, health.
+
+    ``slo_rules`` (a sequence of :class:`~repro.telemetry.health.Rule`)
+    replaces the built-in saturation checks in the health/alerts pane;
+    the pane itself always renders so the reader knows it was evaluated.
+    """
     attribution = report.attribution
     verdict = attribution.verdict()
     lines = [f"bottleneck observatory — {report.source}:{report.label}",
@@ -168,6 +174,15 @@ def render_top(report: ProfileReport, top: int = 12) -> str:
             lines.append(f"  {phase:<16} {resource:<22} "
                          f"{seconds:>9.3f} {share:>7.1%}")
     lines.append(verdict.render())
+
+    from .health import evaluate_attribution
+    checked = evaluate_attribution(attribution, rules=slo_rules)
+    lines.append("health/alerts (SLO rules over this attribution):")
+    if checked.alerts:
+        for alert in checked.alerts:
+            lines.append(f"  {alert.render()}")
+    else:
+        lines.append("  no active alerts")
     return "\n".join(lines)
 
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import TelemetryError
+from . import flight
 
 
 @dataclass
@@ -96,7 +97,13 @@ class _SpanContext:
     def __enter__(self) -> SpanToken:
         return self._token
 
-    def __exit__(self, *_exc) -> bool:
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc_type is not None:
+            # Mark spans that exit via exception so post-mortem traces
+            # and flight-recorder dumps show what was in flight at the
+            # crash — the span still closes, it just closes "error".
+            self._token.set(status="error",
+                            error=f"{exc_type.__name__}: {exc}")
         self._tracer.end(self._token)
         return False
 
@@ -159,6 +166,9 @@ class SpanTracer:
                     attrs=token.attrs)
         with self._lock:
             self.spans.append(span)
+        if flight._recorder is not None:
+            flight._recorder.record("span", span.name, span.attrs,
+                                    duration=span.duration)
         return span
 
     # ------------------------------------------------------------------

@@ -190,3 +190,114 @@ def test_top_once_jsonl_and_metrics(tmp_path, capsys):
     with open(events_path) as handle:
         first = json.loads(handle.readline())
     assert first["schema"] == "smart-infinity/attrib/v1"
+
+
+def test_top_degrades_to_no_data_on_missing_trace(tmp_path, capsys):
+    missing = str(tmp_path / "not-written-yet.trace.json")
+    assert main(["top", "--once", "--trace", missing]) == 0
+    out = capsys.readouterr().out
+    assert "no data yet" in out
+    assert "python -m repro trace" in out
+    assert "Traceback" not in out
+
+
+def test_top_degrades_to_no_data_on_empty_trace(tmp_path, capsys):
+    import json
+    empty = tmp_path / "empty.trace.json"
+    empty.write_text(json.dumps({"traceEvents": []}))
+    assert main(["top", "--once", "--trace", str(empty)]) == 0
+    out = capsys.readouterr().out
+    assert "no data yet" in out
+    assert "nothing to attribute" in out
+
+
+def test_top_renders_health_pane_and_accepts_slo_file(capsys):
+    assert main(["top", "--once", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--slo", "examples/slo.json"]) == 0
+    out = capsys.readouterr().out
+    assert "health/alerts" in out
+
+
+def test_health_once_reports_signals_and_recorder(tmp_path, capsys,
+                                                  monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["health", "--once", "--steps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "step-health signals" in out
+    assert "steps_per_s" in out
+    assert "loss_finite" in out
+    assert "flight recorder:" in out
+    assert "alerts: none fired" in out
+
+
+def test_health_chaos_dropout_fires_alert_and_dump(tmp_path, capsys,
+                                                   monkeypatch):
+    import json
+    monkeypatch.chdir(tmp_path)
+    plan = {"seed": 7, "rules": [
+        {"kind": "device_dropout", "device": 1, "at_op": 40}]}
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(json.dumps(plan))
+    assert main(["health", "--once", "--steps", "3",
+                 "--fault-plan", str(plan_path)]) == 0
+    out = capsys.readouterr().out
+    assert "[critical] device_dropout" in out
+    assert "[flight dump:" in out
+    dumps = sorted((tmp_path / "flightrec").iterdir())
+    assert dumps, "automatic flight dump missing"
+    records = [json.loads(line) for line in open(dumps[0])]
+    assert records[0]["schema"] == "smart-infinity/flightrec/v1"
+    # The acceptance check: the tail of the dump holds the triggering
+    # fault event and the alert that fired for it.
+    events = records[1:]
+    # Workers still running when the snapshot is taken may append a few
+    # trailing events, so "tail" is a window, not the literal last slot.
+    alert_at = max(i for i, r in enumerate(events)
+                   if r["kind"] == "alert")
+    assert len(events) - alert_at <= 25, \
+        "alert not in the dump's tail"
+    fault_at = max(i for i, r in enumerate(events)
+                   if r["kind"] == "fault" and
+                   r["name"] == "faults_dropouts_total")
+    assert len(events) - fault_at <= 60, \
+        "dropout fault event not in the dump's tail"
+
+
+def test_health_accepts_custom_slo_rules(tmp_path, capsys, monkeypatch):
+    import json
+    monkeypatch.chdir(tmp_path)
+    rules = {"rules": [
+        {"name": "always", "kind": "threshold", "signal": "loss_finite",
+         "direction": "above", "value": 0.5, "severity": "info",
+         "message": "fires every healthy run"}]}
+    slo_path = tmp_path / "slo.json"
+    slo_path.write_text(json.dumps(rules))
+    assert main(["health", "--once", "--steps", "2",
+                 "--slo", str(slo_path)]) == 0
+    out = capsys.readouterr().out
+    assert "[info] always" in out
+
+
+def test_bench_report_embeds_health_and_no_flight_flag(tmp_path, capsys):
+    import json
+    out_path = str(tmp_path / "bench.json")
+    assert main(["bench", "--quick", "--csds", "1", "--steps", "1",
+                 "--out", out_path]) == 0
+    printed = capsys.readouterr().out
+    assert "health:" in printed
+    assert "flight recorder on" in printed
+    with open(out_path) as handle:
+        report = json.load(handle)
+    assert report["flight_recorder"] is True
+    (run,) = report["runs"]
+    assert run["health"]["alerts"] == 0
+    assert "steps_per_s" in run["health"]["signals"]
+    assert run["health"]["flight"]["events_recorded"] > 0
+
+    assert main(["bench", "--quick", "--csds", "1", "--steps", "1",
+                 "--no-flight", "--out", out_path]) == 0
+    assert "flight recorder off" in capsys.readouterr().out
+    with open(out_path) as handle:
+        report = json.load(handle)
+    assert report["flight_recorder"] is False
+    assert report["runs"][0]["health"]["flight"] is None

@@ -97,6 +97,40 @@ def test_abandoned_inner_span_does_not_corrupt_depth():
     assert tracer.by_name("next")[0].depth == 0
 
 
+def test_span_exiting_via_exception_is_marked():
+    with telemetry.session() as session:
+        with pytest.raises(ValueError, match="boom"):
+            with telemetry.trace_span("doomed", device=3):
+                raise ValueError("boom")
+        with telemetry.trace_span("fine"):
+            pass
+    doomed = session.tracer.by_name("doomed")[0]
+    # The span still closes (duration recorded) and carries the error.
+    assert doomed.attrs["status"] == "error"
+    assert doomed.attrs["error"] == "ValueError: boom"
+    assert doomed.attrs["device"] == 3
+    fine = session.tracer.by_name("fine")[0]
+    assert "status" not in fine.attrs and "error" not in fine.attrs
+    assert session.tracer.open_depth() == 0
+
+
+def test_span_exception_flows_to_flight_recorder():
+    from repro.telemetry import flight
+    recorder = flight.FlightRecorder(capacity_per_worker=16)
+    previous = flight.install(recorder)
+    try:
+        with telemetry.session():
+            with pytest.raises(RuntimeError):
+                with telemetry.trace_span("crashing"):
+                    raise RuntimeError("dead")
+    finally:
+        flight.replace(recorder, previous)
+    (event,) = [e for e in recorder.events() if e["name"] == "crashing"]
+    assert event["kind"] == "span"
+    assert event["attrs"]["status"] == "error"
+    assert event["attrs"]["error"] == "RuntimeError: dead"
+
+
 def test_total_time_sums_all_instances():
     clock = FakeClock()
     tracer = SpanTracer(clock=clock)
