@@ -52,6 +52,12 @@ def create_engine(mode: str, model: Module, loss_fn: LossFn,
     All three share the mixed-precision trainer interface
     (``train_step``, ``close``, checkpointing) and train bit-identically,
     so callers can switch modes without touching anything else.
+
+    Shard-parallel engines additionally honour
+    ``config.parallel_backend`` (``"thread"``, ``"process"`` or
+    ``"auto"``): the process backend runs one worker process per CSD
+    with optimizer shards in shared memory, scaling past the GIL while
+    keeping the training output bit-identical to the thread pool.
     """
     if mode not in ENGINE_MODES:
         raise TrainingError(

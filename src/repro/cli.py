@@ -161,6 +161,7 @@ def _build_parser() -> argparse.ArgumentParser:
     health.add_argument("--workers", type=int, default=None,
                         help="worker threads for the probe's per-CSD "
                              "fan-out")
+    _add_backend_flag(health)
     health.add_argument("--slo", default=None, metavar="RULES_JSON",
                         help="SLO rules file (examples/slo.json shape; "
                              "default: the built-in rules)")
@@ -201,6 +202,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker threads for the functional proxy's "
                             "per-CSD fan-out (default: one per proxy "
                             "device, so the trace shows the overlap)")
+    _add_backend_flag(trace)
     _add_fault_flags(trace)
 
     sweep = commands.add_parser(
@@ -249,8 +251,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable the flight recorder for this bench "
                             "(to measure its overhead against a default "
                             "run)")
+    _add_backend_flag(bench)
     _add_fault_flags(bench)
     return parser
+
+
+def _add_backend_flag(subparser) -> None:
+    subparser.add_argument(
+        "--backend", default="thread",
+        choices=("thread", "process", "auto"),
+        help="execution backend for the per-CSD fan-out: thread "
+             "(shared-address-space pool), process (per-CSD worker "
+             "processes with shared-memory shards — scales past the "
+             "GIL), or auto (process when >1 usable CPU); training "
+             "output is bit-identical either way (default thread)")
 
 
 def _add_fault_flags(subparser) -> None:
@@ -413,7 +427,8 @@ def _run_functional_proxy(num_csds: int, method: str, ratio: float,
                           fault_plan: Optional[FaultPlan] = None,
                           steps: int = 1,
                           dump_dir: Optional[str] = None,
-                          slo_rules: Optional[list] = None) -> dict:
+                          slo_rules: Optional[list] = None,
+                          backend: str = "thread") -> dict:
     """Train steps of a tiny model through the functional engine.
 
     The proxy exists so the exported trace's wall-clock process contains
@@ -451,6 +466,7 @@ def _run_functional_proxy(num_csds: int, method: str, ratio: float,
         use_transfer_handler=method != "su",
         parallel_csds=workers if workers else proxy_csds,
         num_csds=proxy_csds,
+        parallel_backend=backend,
         fault_plan=fault_plan,
         flight_dump_dir=dump_dir,
         slo_rules=slo_rules)
@@ -484,7 +500,7 @@ def _cmd_trace(args) -> int:
                     workers=args.workers, fault_plan=fault_plan,
                     steps=3 if fault_plan is not None else 1,
                     dump_dir="flightrec" if fault_plan is not None
-                    else None)
+                    else None, backend=args.backend)
         telemetry.record_channel_metrics(
             session.registry, trace.fabric.all_channels(),
             horizon=trace.breakdown.total, method=args.method)
@@ -564,7 +580,8 @@ def _cmd_health(args) -> int:
             return _run_functional_proxy(
                 args.csds, args.method, args.ratio, workers=args.workers,
                 fault_plan=fault_plan, steps=args.steps,
-                dump_dir=args.dump_dir, slo_rules=slo_rules)
+                dump_dir=args.dump_dir, slo_rules=slo_rules,
+                backend=args.backend)
 
     if args.watch and not args.once:
         try:
@@ -600,7 +617,8 @@ def _cmd_bench(args) -> int:
     report = run_parallel_bench(quick=args.quick, out_path=args.out,
                                 csd_counts=csd_counts, steps=args.steps,
                                 fault_plan=_resolve_fault_plan(args),
-                                flight=not args.no_flight)
+                                flight=not args.no_flight,
+                                backend=args.backend)
     print(render_report(report))
     print(f"[saved to {args.out}]")
     if args.compare:

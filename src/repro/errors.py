@@ -92,6 +92,21 @@ class RetryExhaustedError(FaultError):
         self.last_fault = last_fault
 
 
+class WorkerCrashError(FaultError):
+    """A pool worker process died unexpectedly (crash, OOM-kill, signal).
+
+    Raised by :class:`~repro.runtime.parallel.ProcessCSDWorkerPool` when a
+    child process exits without answering an outstanding task.  It is a
+    :class:`FaultError` on purpose: a dead worker process is the software
+    analogue of a dead CSD, and the engines treat it with the same
+    degradation ladder instead of hanging on a silent pipe.
+    """
+
+    def __init__(self, message: str, worker: object = None) -> None:
+        super().__init__(message)
+        self.worker = worker
+
+
 class TrainingError(ReproError):
     """A failure inside the training runtime (engine misuse, divergence)."""
 

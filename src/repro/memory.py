@@ -112,6 +112,17 @@ class BufferArena:
             _arenas.add(self)
 
     # ------------------------------------------------------------------
+    def _new_block(self, num_elements: int, dtype: np.dtype) -> np.ndarray:
+        """Allocate a fresh size-class block (cold path).
+
+        Subclasses override this to change where block memory lives —
+        :class:`SharedMemoryArena` carves blocks out of a shared-memory
+        segment so checked-out views are visible across processes.
+        Called with :attr:`_lock` held.
+        """
+        return np.empty(num_elements, dtype=dtype)
+
+    # ------------------------------------------------------------------
     def acquire(self, num_elements: int, dtype=np.float32) -> np.ndarray:
         """Check out a flat C-contiguous buffer of ``num_elements``.
 
@@ -129,7 +140,7 @@ class BufferArena:
                 base = freelist.pop()
                 self._pooled_bytes -= base.nbytes
             else:
-                base = np.empty(cls, dtype=dt)
+                base = self._new_block(cls, dt)
                 self._allocations += 1
                 allocated = True
             self._live[id(base)] = (base, key)
@@ -211,6 +222,176 @@ class BufferArena:
 
 
 # ----------------------------------------------------------------------
+# shared-memory segments (the cross-process arena substrate)
+# ----------------------------------------------------------------------
+
+#: Block alignment inside a shared segment, in bytes.  64 matches cache
+#: lines, so concurrently updated neighbouring blocks never false-share.
+SEGMENT_ALIGN = 64
+
+
+def _align_up(nbytes: int, align: int = SEGMENT_ALIGN) -> int:
+    return (nbytes + align - 1) & ~(align - 1)
+
+
+class SharedSegment:
+    """A named block of OS shared memory with ndarray views over it.
+
+    This is the process-boundary analogue of a pooled arena block: the
+    parent creates a segment, ships its :meth:`descriptor` (name + size —
+    scalars, never bytes) over a pipe, and the child :meth:`attach`-es to
+    the same physical pages.  Both sides then read and write through
+    :meth:`view` ndarrays with zero serialization — the shard bytes only
+    ever live in the segment.
+
+    The creating side owns the segment: its :meth:`close` also unlinks
+    the name from the OS.  Attached sides just unmap.  On CPython ≤ 3.12
+    an attach implicitly registers the segment with the process-global
+    ``resource_tracker``, which would unlink it when the *child* exits;
+    :meth:`attach` unregisters to keep ownership with the creator.
+    """
+
+    def __init__(self, nbytes: int, *, _shm=None, _owner: bool = True) -> None:
+        if _shm is None:
+            if nbytes <= 0:
+                raise ArenaError(
+                    f"segment size must be positive, got {nbytes}")
+            from multiprocessing import shared_memory
+            _shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._shm = _shm
+        self._owner = _owner
+        self.nbytes = nbytes
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def descriptor(self) -> Dict[str, object]:
+        """A picklable handle: ship this over a pipe, not the bytes."""
+        return {"name": self._shm.name, "nbytes": int(self.nbytes)}
+
+    @classmethod
+    def attach(cls, descriptor: Dict[str, object]) -> "SharedSegment":
+        """Map an existing segment created by another process."""
+        from multiprocessing import shared_memory
+        try:
+            shm = shared_memory.SharedMemory(
+                name=str(descriptor["name"]), create=False)
+        except FileNotFoundError as exc:
+            raise ArenaError(
+                f"shared segment {descriptor['name']!r} does not exist "
+                f"(creator gone?)") from exc
+        # Attaching registers the name with the resource tracker a second
+        # time; because multiprocessing children share the parent's
+        # tracker process this is a set-level no-op, and the owner's
+        # unlink() performs the single matching unregister.
+        return cls(int(descriptor["nbytes"]), _shm=shm, _owner=False)
+
+    def view(self, offset: int, num_elements: int,
+             dtype=np.float32) -> np.ndarray:
+        """A flat ndarray over ``[offset, offset + n*itemsize)`` bytes."""
+        dt = np.dtype(dtype)
+        end = offset + num_elements * dt.itemsize
+        if offset < 0 or end > self.nbytes:
+            raise ArenaError(
+                f"view [{offset}, {end}) exceeds segment of "
+                f"{self.nbytes} B")
+        return np.ndarray(num_elements, dtype=dt, buffer=self._shm.buf,
+                          offset=offset)
+
+    def close(self) -> None:
+        """Unmap (and, on the owning side, unlink). Idempotent.
+
+        Live ndarray views pin the mapping; closing with views still
+        outstanding is deferred to interpreter exit rather than raised.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:  # views still alive; OS cleans at exit
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedSegment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "owner" if self._owner else "attached"
+        return f"SharedSegment({self.name!r}, {self.nbytes} B, {role})"
+
+
+class SharedMemoryArena(BufferArena):
+    """A :class:`BufferArena` whose blocks live in OS shared memory.
+
+    Same checkout/release discipline, same size classes and stats — but
+    cold-path blocks are carved (bump-allocated, cache-line aligned) out
+    of one :class:`SharedSegment`, so any view checked out of this arena
+    is visible to a worker process that attaches the segment.  The
+    process-backend engines use this for optimizer/gradient shards: the
+    parent checks buffers out exactly like a private arena, children
+    attach and index by ``(offset, count)`` descriptors.
+
+    ``capacity_bytes`` bounds the segment; exceeding it raises
+    :class:`~repro.errors.ArenaError` (shared arenas must be sized up
+    front — they exist to *prevent* unplanned allocation).
+    """
+
+    def __init__(self, capacity_bytes: int, name: str = "shm-arena") -> None:
+        self.segment = SharedSegment(capacity_bytes)
+        self._cursor = 0
+        # id(block) -> byte offset inside the segment, for descriptors.
+        self._block_offsets: Dict[int, int] = {}
+        super().__init__(name=name)
+
+    def _new_block(self, num_elements: int, dtype: np.dtype) -> np.ndarray:
+        nbytes = num_elements * dtype.itemsize
+        offset = _align_up(self._cursor)
+        if offset + nbytes > self.segment.nbytes:
+            raise ArenaError(
+                f"shared arena {self.name!r} exhausted: need {nbytes} B "
+                f"at offset {offset} but capacity is "
+                f"{self.segment.nbytes} B")
+        self._cursor = offset + nbytes
+        block = self.segment.view(offset, num_elements, dtype)
+        self._block_offsets[id(block)] = offset
+        return block
+
+    def offset_of(self, view: np.ndarray) -> int:
+        """Byte offset of a checked-out view inside the segment.
+
+        Pair with ``view.size``/``view.dtype`` to build the descriptor a
+        worker process needs to re-view the same bytes after
+        :meth:`SharedSegment.attach`.
+        """
+        base = view if view.base is None else view.base
+        offset = self._block_offsets.get(id(base))
+        if offset is None:
+            raise ArenaError(
+                f"buffer does not come from shared arena {self.name!r}")
+        view_addr = view.__array_interface__["data"][0]
+        base_addr = base.__array_interface__["data"][0]
+        return offset + int(view_addr - base_addr)
+
+    def close(self) -> None:
+        """Release the backing segment (owner side unlinks)."""
+        with self._lock:
+            self._free.clear()
+            self._live.clear()
+            self._block_offsets.clear()
+        self.segment.close()
+
+
+# ----------------------------------------------------------------------
 # per-worker arenas
 # ----------------------------------------------------------------------
 _thread_state = threading.local()
@@ -261,6 +442,9 @@ __all__ = [
     "ArenaStats",
     "BufferArena",
     "MIN_CLASS_ELEMENTS",
+    "SEGMENT_ALIGN",
+    "SharedMemoryArena",
+    "SharedSegment",
     "aggregate_arena_stats",
     "size_class",
     "thread_arena",

@@ -4,7 +4,8 @@ from .checkpoint import load_checkpoint, save_checkpoint
 from .engine import (BaselineOffloadEngine, LossFn, MixedPrecisionTrainer,
                      StepResult, TrainingConfig)
 from .host_offload import HostOffloadEngine
-from .parallel import CSDWorkerPool, resolve_workers
+from .parallel import (CSDWorkerPool, ProcessCSDWorkerPool,
+                       resolve_backend, resolve_workers, usable_cpus)
 from .partition import (FlatParameterSpace, ParamSlot, Shard,
                         distribute_shards)
 from .smart import SmartInfinityEngine
@@ -21,6 +22,7 @@ __all__ = [
     "LossFn",
     "MixedPrecisionTrainer",
     "ParamSlot",
+    "ProcessCSDWorkerPool",
     "Shard",
     "SmartInfinityEngine",
     "StepResult",
@@ -28,5 +30,7 @@ __all__ = [
     "TrainingConfig",
     "distribute_shards",
     "expected_traffic",
+    "resolve_backend",
     "resolve_workers",
+    "usable_cpus",
 ]

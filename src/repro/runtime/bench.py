@@ -38,6 +38,7 @@ from ..faults import FaultPlan
 from ..memory import aggregate_arena_stats
 from ..nn import SequenceClassifier, bert_config
 from .engine import TrainingConfig
+from .parallel import resolve_backend, usable_cpus
 
 #: Schema marker so downstream tooling can detect format changes.
 SCHEMA = "smart-infinity/bench-parallel/v1"
@@ -90,6 +91,10 @@ class BenchRun:
 
     num_csds: int
     workers: int
+    #: Execution backend the run used (``thread`` or ``process``) —
+    #: sequential references always run ``thread`` so a process-backend
+    #: comparison is apples (fan-out) to oranges (same-thread loop).
+    backend: str
     steps: int
     wall_seconds: float
     steps_per_second: float
@@ -130,13 +135,15 @@ def _condense_health(summary: Dict[str, object]) -> Dict[str, object]:
 
 def _run_one(workload: BenchWorkload, num_csds: int, workers: int,
              fault_plan: Optional[FaultPlan] = None,
-             flight: bool = True) -> BenchRun:
+             flight: bool = True, backend: str = "thread") -> BenchRun:
     config = TrainingConfig(
         optimizer="adam", optimizer_kwargs={"lr": 1e-3},
         subgroup_elements=workload.subgroup_elements,
         kernel_chunk_elements=workload.kernel_chunk_elements,
         parallel_csds=workers, num_csds=num_csds,
+        parallel_backend=backend,
         fault_plan=fault_plan, flight_recorder=flight)
+    resolved_backend = resolve_backend(backend, workers)
     tokens, labels = workload.make_batch()
     with tempfile.TemporaryDirectory(prefix="bench-csd") as workdir:
         with create_engine("smart", workload.make_model(), _loss_fn,
@@ -152,7 +159,8 @@ def _run_one(workload: BenchWorkload, num_csds: int, workers: int,
             fault_stats = engine.fault_stats() if fault_plan else None
             health = _condense_health(engine.health_summary())
     return BenchRun(
-        num_csds=num_csds, workers=workers, steps=workload.steps,
+        num_csds=num_csds, workers=workers, backend=resolved_backend,
+        steps=workload.steps,
         wall_seconds=wall,
         steps_per_second=workload.steps / wall if wall > 0 else 0.0,
         host_read_bytes=sum(t.host_reads for t in timed),
@@ -209,15 +217,18 @@ def run_parallel_bench(quick: bool = False,
                        steps: Optional[int] = None,
                        fault_plan: Optional[FaultPlan] = None,
                        flight: bool = True,
+                       backend: str = "thread",
                        ) -> Dict[str, object]:
     """Run the full benchmark matrix and (optionally) write the report.
 
-    For each CSD count the sequential configuration (``workers=1``) runs
-    first, then — for counts above one — the thread-pooled configuration
-    with one worker per CSD.  Bit-identity between the two is checked
-    here, not just in the test suite, so a published JSON is self-vouching.
-    Under a ``fault_plan`` the check still holds: fault streams are keyed
-    per device, not per thread, so chaos is schedule-independent.
+    For each CSD count the sequential configuration (``workers=1``,
+    always thread-backed) runs first, then — for counts above one — the
+    pooled configuration with one worker per CSD on ``backend``
+    (``thread``, ``process`` or ``auto``).  Bit-identity between the two
+    is checked here, not just in the test suite, so a published JSON is
+    self-vouching.  Under a ``fault_plan`` the check still holds: fault
+    streams are keyed per device, not per thread or process, so chaos is
+    schedule-independent.
     """
     workload = QUICK_WORKLOAD if quick else FULL_WORKLOAD
     if steps is not None:
@@ -235,7 +246,8 @@ def run_parallel_bench(quick: bool = False,
         if num_csds == 1:
             continue
         parallel = _run_one(workload, num_csds, workers=num_csds,
-                            fault_plan=fault_plan, flight=flight)
+                            fault_plan=fault_plan, flight=flight,
+                            backend=backend)
         runs.append(parallel)
         if parallel.param_checksum != sequential.param_checksum:
             raise AssertionError(
@@ -250,17 +262,14 @@ def run_parallel_bench(quick: bool = False,
                         if sequential.steps_per_second else 0.0),
         }
 
-    try:
-        usable = len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux hosts
-        usable = os.cpu_count() or 1
     report: Dict[str, object] = {
         "schema": SCHEMA,
         "quick": quick,
         "flight_recorder": flight,
+        "backend": resolve_backend(backend, max(csd_counts)),
         "environment": {
             "cpu_count": os.cpu_count() or 1,
-            "usable_cpus": usable,
+            "usable_cpus": usable_cpus(),
             "platform": platform.platform(),
             "python": platform.python_version(),
         },
@@ -303,11 +312,13 @@ def render_report(report: Dict[str, object]) -> str:
     env = report["environment"]
     lines.append(f"wall-clock parallel bench "
                  f"({'quick' if report['quick'] else 'full'} workload, "
+                 f"{report.get('backend', 'thread')} backend, "
                  f"{env['usable_cpus']} usable cpu(s))")
-    lines.append(f"{'csds':>5} {'workers':>8} {'steps/s':>10} "
-                 f"{'wall s':>9}")
+    lines.append(f"{'csds':>5} {'workers':>8} {'backend':>8} "
+                 f"{'steps/s':>10} {'wall s':>9}")
     for run in report["runs"]:
         lines.append(f"{run['num_csds']:>5} {run['workers']:>8} "
+                     f"{run.get('backend', 'thread'):>8} "
                      f"{run['steps_per_second']:>10.2f} "
                      f"{run['wall_seconds']:>9.3f}")
     for csds, entry in sorted(report["speedups"].items()):

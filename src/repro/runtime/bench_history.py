@@ -43,7 +43,17 @@ _WORKLOAD_SHAPE_KEYS = ("dim", "num_layers", "vocab_size", "seq_len",
 
 
 def _config_key(run: Dict[str, object]) -> str:
-    return f"{run['num_csds']}x{run['workers']}"
+    """``csds x workers``, suffixed ``@backend`` off the thread default.
+
+    Thread and process runs of the same geometry are different
+    benchmarks (one is GIL-bound, one is not), so they must never share
+    a baseline; runs predating the backend field are thread runs.
+    """
+    key = f"{run['num_csds']}x{run['workers']}"
+    backend = run.get("backend", "thread")
+    if backend != "thread":
+        key += f"@{backend}"
+    return key
 
 
 def entry_from_report(report: Dict[str, object],
@@ -70,18 +80,30 @@ def load_history(path: str) -> Dict[str, object]:
     A legacy single-report file (PR 2's ``BENCH_parallel.json`` format,
     recognizable by its top-level ``runs`` list) is migrated in place
     into a one-entry history, so existing committed results seed the
-    trajectory instead of being clobbered.
+    trajectory instead of being clobbered.  Entries carrying the old
+    ``timestamp: 0.0`` placeholder (the epoch, i.e. obviously wrong) are
+    re-stamped from the history file's mtime — the best available bound
+    on when that run actually happened.
     """
     if not os.path.exists(path):
         return {"schema": HISTORY_SCHEMA, "entries": []}
     with open(path) as handle:
         document = json.load(handle)
     if "entries" in document:
+        _repair_timestamps(document, path)
         return document
     if "runs" in document:  # legacy single report
         return {"schema": HISTORY_SCHEMA,
-                "entries": [entry_from_report(document, timestamp=0.0)]}
+                "entries": [entry_from_report(
+                    document, timestamp=os.path.getmtime(path))]}
     return {"schema": HISTORY_SCHEMA, "entries": []}
+
+
+def _repair_timestamps(history: Dict[str, object], path: str) -> None:
+    """Stamp placeholder (missing/zero) entry timestamps from ``path``."""
+    for entry in history.get("entries", []):
+        if not entry.get("timestamp"):
+            entry["timestamp"] = os.path.getmtime(path)
 
 
 def append_entry(history: Dict[str, object],

@@ -14,7 +14,6 @@ from typing import Dict
 import numpy as np
 
 from ..errors import TrainingError
-from .engine import fault_bypass
 
 #: Format marker for forward compatibility.
 FORMAT_VERSION = 1
@@ -29,26 +28,11 @@ def _gather_state(engine) -> Dict[str, np.ndarray]:
     exactly when a checkpoint matters most.
     """
     state_names = engine.optimizer.state_names
-    if hasattr(engine, "devices"):          # SmartInfinityEngine
-        host_shards = getattr(engine, "_host_shards", {})
-        arrays = {"master_params": [], **{n: [] for n in state_names}}
-        with fault_bypass(getattr(engine, "faults", None)):
-            for index, device in enumerate(engine.devices):
-                source = host_shards.get(index)
-                if source is None:
-                    source = {name: device.store.read_array(name)
-                              for name in ("master_params", *state_names)}
-                arrays["master_params"].append(source["master_params"])
-                for name in state_names:
-                    arrays[name].append(source[name])
-        out = {name: np.concatenate(parts)
-               for name, parts in arrays.items()}
-        # SmartComp's error-feedback residuals are training state too:
-        # without them a resumed compressed run diverges.
-        if any(fb is not None for fb in engine.feedback):
-            out["ef_residual"] = np.concatenate([
-                feedback.residual for feedback in engine.feedback])
-        return out
+    if hasattr(engine, "gather_state_arrays"):  # SmartInfinityEngine
+        # The engine owns its shard layout (thread-mode device stores or
+        # process-mode shared-memory channels), so the gather lives
+        # there; both backends produce the same flat arrays.
+        return engine.gather_state_arrays()
     if hasattr(engine, "store"):            # BaselineOffloadEngine
         out = {"master_params": engine.store.read_array("master_params")}
         for name in state_names:
@@ -65,26 +49,8 @@ def _gather_state(engine) -> Dict[str, np.ndarray]:
 def _scatter_state(engine, arrays: Dict[str, np.ndarray]) -> None:
     """Write flat masters + moments back into an engine's storage."""
     state_names = engine.optimizer.state_names
-    if hasattr(engine, "devices"):
-        host_shards = getattr(engine, "_host_shards", {})
-        with fault_bypass(getattr(engine, "faults", None)):
-            for index, (device, shard) in enumerate(
-                    zip(engine.devices, engine.shards)):
-                view = slice(shard.start, shard.end)
-                target = host_shards.get(index)
-                if target is not None:
-                    target["master_params"][:] = \
-                        arrays["master_params"][view]
-                    for name in state_names:
-                        target[name][:] = arrays[name][view]
-                else:
-                    device.store.write_array("master_params",
-                                             arrays["master_params"][view])
-                    for name in state_names:
-                        device.store.write_array(name, arrays[name][view])
-                feedback = engine.feedback[index]
-                if feedback is not None and "ef_residual" in arrays:
-                    feedback.residual[:] = arrays["ef_residual"][view]
+    if hasattr(engine, "scatter_state_arrays"):  # SmartInfinityEngine
+        engine.scatter_state_arrays(arrays)
         return
     if hasattr(engine, "store"):
         engine.store.write_array("master_params",

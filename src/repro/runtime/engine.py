@@ -81,6 +81,12 @@ class TrainingConfig:
     #: ``min(num_csds, cpu_count)``; 1 forces the sequential loop;
     #: parallel execution is bit-identical to sequential (tested).
     parallel_csds: Optional[int] = None
+    #: Execution backend for that fan-out: ``thread`` (shared-address-
+    #: space pool, GIL-bound), ``process`` (per-CSD worker processes with
+    #: shared-memory shard channels — true multi-core scaling), or
+    #: ``auto`` (process exactly when >1 worker and >1 usable CPU).
+    #: Both backends produce bit-identical training output (tested).
+    parallel_backend: str = "thread"
     #: Fleet geometry (folded out of the old per-engine ctor kwargs so
     #: :func:`repro.api.create_engine` needs only a mode + config):
     #: number of SmartSSDs for the smart engine ...
@@ -499,6 +505,11 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
         num_ssds = config.raid_members
         if num_ssds < 1:
             raise TrainingError("need at least one SSD")
+        # The baseline's update loop is inherently sequential, but the
+        # knob is still validated here so a typo'd backend fails loudly
+        # on every engine, not just the parallel ones.
+        from .parallel import resolve_backend
+        resolve_backend(config.parallel_backend, 1)
         os.makedirs(storage_dir, exist_ok=True)
         self.faults = make_fault_injector(config)
         self._closed = False

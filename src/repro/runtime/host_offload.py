@@ -27,10 +27,13 @@ import numpy as np
 
 from .. import telemetry
 from ..errors import TrainingError
+from ..memory import SEGMENT_ALIGN, SharedMemoryArena, size_class
 from ..nn.modules import Module
+from ..telemetry import flight
 from .engine import (LossFn, MixedPrecisionTrainer, StepResult,
                      TrainingConfig)
-from .parallel import CSDWorkerPool, resolve_workers
+from .parallel import (CSDWorkerPool, ProcessCSDWorkerPool,
+                       resolve_backend, resolve_workers)
 from .stats import TrafficMeter
 
 
@@ -57,15 +60,54 @@ class HostOffloadEngine(MixedPrecisionTrainer):
                 f"is {host_memory_bytes} B — this is exactly the wall "
                 "storage-offloaded training exists to break")
         self.meter = TrafficMeter()
-        self._masters = self.space.gather_params()
-        self._state = self.optimizer.init_state(total)
-        self.space.install_fp16_params(self._masters)
         # Update blocks are the shard analogue here: disjoint flat
         # slices of host-resident state, so they fan out over the same
         # worker pool the CSD engine uses.
         num_blocks = -(-total // config.subgroup_elements)
         self.workers = resolve_workers(config.parallel_csds, num_blocks)
-        self._pool = CSDWorkerPool(self.workers, name_prefix="host-worker")
+        self.backend = resolve_backend(config.parallel_backend,
+                                       self.workers)
+        self._arena: Optional[SharedMemoryArena] = None
+        self._layout: Optional[dict] = None
+        self._grads_shm: Optional[np.ndarray] = None
+        if self.backend == "process":
+            # Masters, moments and the per-step gradient vector live in
+            # one shared-memory arena, so worker processes update their
+            # blocks in place; the pipe carries only (start, stop, step,
+            # lr) and the constant layout descriptor.
+            names = self.optimizer.state_names
+            rows = 3 + len(names)  # masters + grads + states
+            capacity = rows * (4 * size_class(total) + 2 * SEGMENT_ALIGN)
+            self._arena = SharedMemoryArena(capacity, name="host-shards")
+            self._masters = self._arena.acquire(total)
+            np.copyto(self._masters, self.space.gather_params())
+            init = self.optimizer.init_state(total)
+            self._state = {}
+            for name in names:
+                view = self._arena.acquire(total)
+                np.copyto(view, init[name])
+                self._state[name] = view
+            self._grads_shm = self._arena.acquire(total)
+            regions = {"masters": self._masters, "grads": self._grads_shm,
+                       **{f"state:{name}": view
+                          for name, view in self._state.items()}}
+            self._layout = {
+                "segment": self._arena.segment.descriptor(),
+                "optimizer": config.optimizer,
+                "optimizer_kwargs": dict(config.optimizer_kwargs),
+                "regions": {
+                    name: (self._arena.offset_of(view), int(view.size),
+                           view.dtype.str)
+                    for name, view in regions.items()},
+            }
+            self._pool = ProcessCSDWorkerPool(self.workers,
+                                              name_prefix="host-proc")
+        else:
+            self._masters = self.space.gather_params()
+            self._state = self.optimizer.init_state(total)
+            self._pool = CSDWorkerPool(self.workers,
+                                       name_prefix="host-worker")
+        self.space.install_fp16_params(self._masters)
 
     def train_step(self, *batch: np.ndarray) -> StepResult:
         """One iteration: fw/bw on the GPU, CPU update in host memory."""
@@ -114,6 +156,9 @@ class HostOffloadEngine(MixedPrecisionTrainer):
         """
         total = self.space.total_elements
         size = self.config.subgroup_elements
+        if self._arena is not None:
+            self._cpu_update_process(flat_grads, total, size)
+            return
 
         def update_block(start: int) -> None:
             stop = min(start + size, total)
@@ -127,6 +172,31 @@ class HostOffloadEngine(MixedPrecisionTrainer):
 
         self._pool.map_ordered(update_block, range(0, total, size))
 
+    def _cpu_update_process(self, flat_grads: np.ndarray, total: int,
+                            size: int) -> None:
+        """Process-backend update: blocks mutate shared memory in place.
+
+        The gradient vector is published through the arena once, each
+        worker process updates its disjoint ``[start, stop)`` slices of
+        the shared masters/states, and the parent refreshes the FP16
+        working copy once at the end — bit-identical to the per-block
+        installs, since only the final masters matter.
+        """
+        from .procworker import _host_update_task, ingest_response
+
+        np.copyto(self._grads_shm, flat_grads)
+        spans_on = telemetry.enabled()
+        flight_on = flight.active_recorder() is not None
+        tasks = [{
+            "start": start, "stop": min(start + size, total),
+            "step": self.step_count, "lr": float(self.optimizer.lr),
+            "layout": self._layout, "spans": spans_on,
+            "flight": flight_on,
+        } for start in range(0, total, size)]
+        for resp in self._pool.map_ordered(_host_update_task, tasks):
+            ingest_response(resp)
+        self.space.install_fp16_params(self._masters)
+
     def state_arrays(self) -> Sequence[np.ndarray]:
         """The host-resident optimizer state (for inspection/tests)."""
         return [self._masters] + [self._state[name]
@@ -139,3 +209,5 @@ class HostOffloadEngine(MixedPrecisionTrainer):
         self._closed = True
         self._teardown_flight()
         self._pool.close()
+        if self._arena is not None:
+            self._arena.close()

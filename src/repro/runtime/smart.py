@@ -51,9 +51,188 @@ from ..optim.base import scratch_buffers
 from .engine import (LossFn, MixedPrecisionTrainer, StepResult,
                      TrainingConfig, fault_bypass, fold_deprecated_kwarg,
                      make_fault_injector)
-from .parallel import CSDWorkerPool, resolve_workers
+from .parallel import CSDWorkerPool, resolve_backend, resolve_workers
 from .partition import Shard, distribute_shards
 from .stats import TrafficMeter
+
+
+# ----------------------------------------------------------------------
+# per-shard building blocks
+# ----------------------------------------------------------------------
+# Module-level on purpose: the process backend's shard workers
+# (:mod:`repro.runtime.procworker`) run these same functions inside
+# child processes, so thread mode and process mode are bit-identical by
+# construction — there is one implementation of the device layout, the
+# dense-gradient reconstruction, the in-flight recovery arithmetic and
+# the compressed-stream grad loader, not two.
+
+def build_shard_device(storage_dir: str, shard: Shard,
+                       config: TrainingConfig,
+                       state_names: Sequence[str],
+                       states_per_param: int,
+                       site=None) -> SmartSSDDevice:
+    """Create and lay out one shard's SmartSSD (file, regions, DRAM)."""
+    words = 2 + states_per_param
+    capacity = 4 * shard.count * words + shard.count + (2 << 20)
+    device = SmartSSDDevice(
+        os.path.join(storage_dir, f"csd{shard.device_id}.img"),
+        capacity, device_id=shard.device_id, fault_site=site)
+    device.store.allocate("master_params", shard.count)
+    for name in state_names:
+        device.store.allocate(name, shard.count)
+    if config.compression_ratio is None:
+        device.store.allocate("grads", shard.count)
+    else:
+        kept = keep_count(shard.count, config.compression_ratio)
+        device.store.allocate("comp_indices", kept, dtype=np.int32)
+        device.store.allocate("comp_values", kept, dtype=np.float32)
+    if config.quantized_upstream:
+        # §VIII-B: int8 masters + per-group scales, laid out so each
+        # subgroup owns a fixed stripe of the scales region.
+        max_sub = min(config.subgroup_elements, shard.count)
+        groups_per_sub = -(-max_sub // config.quantization_group)
+        num_subs = -(-shard.count // max_sub)
+        device.store.allocate("masters_q", shard.count, dtype=np.int8)
+        device.store.allocate("masters_scales",
+                              num_subs * groups_per_sub,
+                              dtype=np.float32)
+    return device
+
+
+def dense_shard_grads(compressed: Optional[CompressedGradient],
+                      shard_grads: np.ndarray) -> np.ndarray:
+    """The gradient vector the shard's update kernel would consume."""
+    if compressed is None:
+        return shard_grads
+    grads = np.zeros(shard_grads.size, dtype=np.float32)
+    grads[compressed.indices] = compressed.values
+    return grads
+
+
+def recover_in_flight(optimizer, state_names: Sequence[str],
+                      subgroup_elements: int, masters: np.ndarray,
+                      states: Dict[str, np.ndarray], grads: np.ndarray,
+                      step_count: int, committed_params: Set[int],
+                      committed_states: Set[Tuple[str, int]]) -> None:
+    """Finish a mid-pass-interrupted update exactly, on the host.
+
+    Per subgroup, the salvaged device data is in one of two shapes (the
+    urgent parameter write-back always precedes the lazy state
+    write-backs):
+
+    * params uncommitted — everything is pre-update: recompute the whole
+      subgroup from (pre-params, grads, pre-states);
+    * params committed — masters are post-update; recompute only the
+      state slices whose write-back never landed.  This is exact because
+      every optimizer here has param-independent state transitions
+      (momentum/variance/accumulator depend only on that state and the
+      gradient), so the post-state is reproducible without the
+      pre-params we no longer have.
+    """
+    shard_count = masters.size
+    max_sub = min(subgroup_elements, shard_count)
+    for subgroup in plan_subgroups(shard_count, max_sub):
+        sl = slice(subgroup.start, subgroup.start + subgroup.count)
+        params_done = subgroup.start in committed_params
+        if params_done and all(
+                (name, subgroup.start) in committed_states
+                for name in state_names):
+            continue
+        with scratch_buffers(subgroup.count,
+                             1 + len(state_names)) as blocks:
+            scratch_params = blocks[0]
+            np.copyto(scratch_params, masters[sl])
+            scratch_state = {}
+            for name, block in zip(state_names, blocks[1:]):
+                np.copyto(block, states[name][sl])
+                scratch_state[name] = block
+            optimizer.step(scratch_params, grads[sl], scratch_state,
+                           step_count)
+            if not params_done:
+                masters[sl] = scratch_params
+                for name in state_names:
+                    states[name][sl] = scratch_state[name]
+            else:
+                for name in state_names:
+                    if (name, subgroup.start) not in committed_states:
+                        states[name][sl] = scratch_state[name]
+
+
+def make_grad_loader(device: SmartSSDDevice,
+                     decompressor: Optional[DecompressorKernel],
+                     compressed: Optional[CompressedGradient],
+                     subgroups: Sequence[Subgroup]
+                     ) -> Tuple[Callable[[Subgroup, np.ndarray],
+                                         np.ndarray],
+                                Callable[[], None]]:
+    """Build the per-subgroup gradient loader for one update pass.
+
+    SmartUpdate reads dense gradients over P2P; SmartComp reads the
+    compressed stream over P2P and runs the FPGA decompressor to fill
+    the gradient buffer for the subgroup's index range (§V-B).
+
+    The compressed stream is read over the internal path *once per
+    update pass* directly into arena-staged blocks cached in "FPGA DRAM"
+    for the pass — it is read-only while the pass runs — with one
+    precomputed ``searchsorted`` over the subgroup boundaries.  The
+    per-subgroup closure then just slices and rebases indices in place,
+    instead of re-reading the whole O(kept) stream for every subgroup
+    (which made internal-read traffic O(subgroups x kept)).
+
+    Returns ``(loader, release)``; the caller must invoke ``release`` on
+    the same worker thread once the pass ends to return the staged
+    stream blocks to the arena.
+    """
+    if compressed is None:
+        def load_dense(subgroup: Subgroup,
+                       buffer: np.ndarray) -> np.ndarray:
+            return device.p2p_read_into("grads", subgroup.start, buffer,
+                                        subgroup.count)
+        return load_dense, lambda: None
+
+    arena = thread_arena()
+    kept = device.store.region("comp_indices").num_elements
+    staged = [arena.acquire(kept, dtype=np.int32),
+              arena.acquire(kept, dtype=np.float32),
+              arena.acquire(kept, dtype=np.int32)]
+    idx_stage, val_stage, local_stage = staged
+
+    def release() -> None:
+        for block in staged:
+            arena.release(block)
+
+    try:
+        indices = device.p2p_read_into("comp_indices", 0, idx_stage, kept)
+        values = device.p2p_read_into("comp_values", 0, val_stage, kept)
+    except BaseException:
+        release()
+        raise
+    # Subgroups tile [0, shard.count) in order, so one sorted lookup of
+    # every boundary yields each subgroup's [lo, hi) stream slice.
+    edges = np.fromiter(
+        (subgroup.start for subgroup in subgroups),
+        dtype=np.int64, count=len(subgroups))
+    edges = np.append(edges,
+                      subgroups[-1].start + subgroups[-1].count)
+    bounds = np.searchsorted(indices, edges, side="left")
+
+    def load_compressed(subgroup: Subgroup,
+                        buffer: np.ndarray) -> np.ndarray:
+        # The decompressor selects the cached entries belonging to this
+        # subgroup, rebases them to subgroup-local positions in the
+        # staging block, and scatters into the gradient buffer.
+        lo = int(bounds[subgroup.index])
+        hi = int(bounds[subgroup.index + 1])
+        local_view = local_stage[:hi - lo]
+        np.subtract(indices[lo:hi], np.int32(subgroup.start),
+                    out=local_view)
+        local = CompressedGradient(
+            indices=local_view,
+            values=values[lo:hi],
+            original_size=subgroup.count)
+        return decompressor.run(local, buffer)
+
+    return load_compressed, release
 
 
 class SmartInfinityEngine(MixedPrecisionTrainer):
@@ -88,58 +267,32 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         self.decompressors: List[DecompressorKernel] = []
         self.feedback: List[Optional[ErrorFeedback]] = []
         self._pool: Optional[CSDWorkerPool] = None
+        self._proc = None
         try:
             self.meter = TrafficMeter()
             self._state_names = self.optimizer.state_names
             # Per-device work is independent (disjoint shards, private
             # files, private handlers), so offload and update fan out
             # over a persistent worker pool; workers=1 is exactly the old
-            # sequential loop.
+            # sequential loop.  The backend knob picks the pool flavour:
+            # threads (GIL-bound but cheap) or per-CSD worker processes
+            # with shared-memory shard channels.
             self.workers = resolve_workers(config.parallel_csds, num_csds)
-            self._pool = CSDWorkerPool(self.workers)
+            self.backend = resolve_backend(config.parallel_backend,
+                                           self.workers)
 
             masters = self.space.gather_params()
             # §VIII-B extensions: pruning mask over the flat space, and
             # the per-device CSD quantizer kernels for the upstream
-            # transfer.
+            # transfer.  Quantizers are pure arithmetic (no device
+            # handle), and the host-side demotion path needs them in
+            # both backends.
             self.pruning_mask: Optional[PruningMask] = None
             if config.pruning_sparsity is not None:
                 self.pruning_mask = magnitude_mask(masters,
                                                    config.pruning_sparsity)
             self.quantizers: List[Optional[QuantizerKernel]] = []
-
             for shard in self.shards:
-                device = self._build_device(storage_dir, shard)
-                self.devices.append(device)
-                # Initial state placement (setup traffic, not metered and
-                # outside the fault domain).
-                with fault_bypass(self.faults):
-                    shard_masters = masters[shard.start:shard.end]
-                    device.store.write_array("master_params", shard_masters)
-                    zero = np.zeros(shard.count, dtype=np.float32)
-                    for name in self._state_names:
-                        device.store.write_array(name, zero)
-
-                kernel = UpdaterKernel(
-                    self.optimizer,
-                    chunk_elements=config.kernel_chunk_elements)
-                self.kernels.append(kernel)
-                self.decompressors.append(DecompressorKernel(
-                    chunk_elements=config.kernel_chunk_elements))
-
-                max_sub = min(config.subgroup_elements, shard.count)
-                if config.use_transfer_handler:
-                    self.handlers.append(TransferHandler(
-                        device, self._state_names, max_sub))
-                else:
-                    self.handlers.append(None)
-
-                if config.compression_ratio is not None \
-                        and config.error_feedback:
-                    self.feedback.append(ErrorFeedback(shard.count))
-                else:
-                    self.feedback.append(None)
-
                 if config.quantized_upstream:
                     group = config.quantization_group
                     chunk = max(group,
@@ -149,6 +302,51 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
                         group_size=group, chunk_elements=chunk))
                 else:
                     self.quantizers.append(None)
+
+            if self.backend == "process":
+                # Devices, handlers and residuals live inside the child
+                # processes; the parent keeps only the coordinator (shm
+                # shard channels + the process pool) and the host-side
+                # demotion bookkeeping.
+                from .procworker import ProcessShardCoordinator
+                self._proc = ProcessShardCoordinator(
+                    storage_dir, self.shards, config, self._state_names,
+                    self.optimizer.states_per_param, masters,
+                    self.workers)
+            else:
+                self._pool = CSDWorkerPool(self.workers)
+                for shard in self.shards:
+                    device = self._build_device(storage_dir, shard)
+                    self.devices.append(device)
+                    # Initial state placement (setup traffic, not metered
+                    # and outside the fault domain).
+                    with fault_bypass(self.faults):
+                        shard_masters = masters[shard.start:shard.end]
+                        device.store.write_array("master_params",
+                                                 shard_masters)
+                        zero = np.zeros(shard.count, dtype=np.float32)
+                        for name in self._state_names:
+                            device.store.write_array(name, zero)
+
+                    kernel = UpdaterKernel(
+                        self.optimizer,
+                        chunk_elements=config.kernel_chunk_elements)
+                    self.kernels.append(kernel)
+                    self.decompressors.append(DecompressorKernel(
+                        chunk_elements=config.kernel_chunk_elements))
+
+                    max_sub = min(config.subgroup_elements, shard.count)
+                    if config.use_transfer_handler:
+                        self.handlers.append(TransferHandler(
+                            device, self._state_names, max_sub))
+                    else:
+                        self.handlers.append(None)
+
+                    if config.compression_ratio is not None \
+                            and config.error_feedback:
+                        self.feedback.append(ErrorFeedback(shard.count))
+                    else:
+                        self.feedback.append(None)
 
             working = masters.copy()
             if self.pruning_mask is not None:
@@ -165,38 +363,15 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
     # ------------------------------------------------------------------
     def _build_device(self, storage_dir: str,
                       shard: Shard) -> SmartSSDDevice:
-        config = self.config
-        words = 2 + self.optimizer.states_per_param
-        capacity = 4 * shard.count * words + shard.count + (2 << 20)
         site = (self.faults.site(shard.device_id)
                 if self.faults is not None else None)
-        device = SmartSSDDevice(
-            os.path.join(storage_dir, f"csd{shard.device_id}.img"),
-            capacity, device_id=shard.device_id, fault_site=site)
-        device.store.allocate("master_params", shard.count)
-        for name in self._state_names:
-            device.store.allocate(name, shard.count)
-        if config.compression_ratio is None:
-            device.store.allocate("grads", shard.count)
-        else:
-            kept = keep_count(shard.count, config.compression_ratio)
-            device.store.allocate("comp_indices", kept, dtype=np.int32)
-            device.store.allocate("comp_values", kept, dtype=np.float32)
-        if config.quantized_upstream:
-            # §VIII-B: int8 masters + per-group scales, laid out so each
-            # subgroup owns a fixed stripe of the scales region.
-            max_sub = min(config.subgroup_elements, shard.count)
-            groups_per_sub = -(-max_sub // config.quantization_group)
-            num_subs = -(-shard.count // max_sub)
-            device.store.allocate("masters_q", shard.count, dtype=np.int8)
-            device.store.allocate("masters_scales",
-                                  num_subs * groups_per_sub,
-                                  dtype=np.float32)
-        return device
+        return build_shard_device(storage_dir, shard, self.config,
+                                  self._state_names,
+                                  self.optimizer.states_per_param, site)
 
     @property
     def num_csds(self) -> int:
-        return len(self.devices)
+        return len(self.shards)
 
     # ------------------------------------------------------------------
     # training
@@ -210,6 +385,8 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         return self._run_step([tuple(batch) for batch in batches])
 
     def _step_impl(self, batches) -> StepResult:
+        if self._proc is not None:
+            return self._step_impl_process(batches)
         with telemetry.trace_span("iteration", engine="smart",
                                   num_csds=self.num_csds) as span:
             self.meter.begin_iteration()
@@ -253,6 +430,195 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
                      internal_writes=traffic.internal_writes)
         return StepResult(step=self.step_count, loss=loss, grad_norm=norm,
                           overflow=overflow, traffic=traffic)
+
+    # ------------------------------------------------------------------
+    # process backend: shared-memory shard channels + worker processes
+    # ------------------------------------------------------------------
+    def _step_impl_process(self, batches) -> StepResult:
+        """One iteration with per-CSD worker *processes*.
+
+        Same phase structure as the thread path — offload, scaler
+        verdict, update — but the per-device work happens in persistent
+        child processes: gradients go down and updated masters come back
+        through shared-memory shard channels, and the task pipe carries
+        only descriptors and scalars.  Demotions detected by a child are
+        salvaged through the channel and absorbed here, so the host-CPU
+        degradation path (and the resulting trajectory) is identical to
+        thread mode.
+        """
+        proc = self._proc
+        with telemetry.trace_span("iteration", engine="smart",
+                                  num_csds=self.num_csds,
+                                  backend="process") as span:
+            self.meter.begin_iteration()
+            with telemetry.trace_span("forward_backward"):
+                if len(batches) == 1:
+                    loss, flat_grads, norm, overflow = \
+                        self.forward_backward(batches[0])
+                else:
+                    loss, flat_grads, norm, overflow = \
+                        self.forward_backward_many(batches)
+
+            with telemetry.trace_span("grad_offload"):
+                for resp in proc.offload(flat_grads):
+                    self.meter.add_host_write(int(resp["host_write"]))
+                    self._absorb_child_traffic(resp)
+                    if resp.get("demoted_now"):
+                        self._absorb_demotion(resp)
+
+            proceed = self.scaler.update(overflow)
+            if proceed:
+                self.step_count += 1
+                self._apply_lr_schedule()
+                with telemetry.trace_span("update", workers=self.workers):
+                    recovered = set()
+                    for resp in proc.update(self.step_count,
+                                            self.optimizer.lr):
+                        self.meter.add_host_read(int(resp["host_read"]))
+                        self._absorb_child_traffic(resp)
+                        if resp.get("demoted_now"):
+                            # The child already salvaged and replayed the
+                            # in-flight pass; absorbing installs the
+                            # recovered FP16 too.
+                            self._absorb_demotion(resp)
+                            recovered.add(int(resp["index"]))
+                    for index in range(self.num_csds):
+                        if index in recovered:
+                            continue
+                        if index in self._host_shards:
+                            self._host_update_shard(
+                                index, proc.compressed_view(index),
+                                flat_grads)
+                        else:
+                            self._install_upstream_shard(index)
+
+            traffic = self.meter.end_iteration()
+            self.loss_history.append(loss)
+            span.set(step=self.step_count, loss=loss, overflow=overflow,
+                     host_reads=traffic.host_reads,
+                     host_writes=traffic.host_writes,
+                     internal_reads=traffic.internal_reads,
+                     internal_writes=traffic.internal_writes)
+        return StepResult(step=self.step_count, loss=loss, grad_norm=norm,
+                          overflow=overflow, traffic=traffic)
+
+    def _absorb_child_traffic(self, resp: Dict[str, object]) -> None:
+        """Fold a child task's device-internal byte deltas into the meter."""
+        self.meter.add_internal_read(int(resp.get("internal_read", 0)))
+        self.meter.add_internal_write(int(resp.get("internal_write", 0)))
+
+    def _absorb_demotion(self, resp: Dict[str, object]) -> None:
+        """Adopt a child-reported demotion into the host-side bookkeeping.
+
+        The child has already marked its device dead, salvaged masters +
+        states (exactly replaying any in-flight subgroup work) and
+        published them through the shard channel; the parent copies them
+        into ``_host_shards``, refreshes the FP16 working copy when an
+        update was recovered, and raises the same incident the thread
+        path would.
+        """
+        index = int(resp["index"])
+        shard = self.shards[index]
+        cause = str(resp.get("cause", "worker fault"))
+        cause_type = str(resp.get("cause_type", "FaultError"))
+        masters, states = self._proc.salvage_arrays(index)
+        self._host_shards[index] = {"master_params": masters, **states}
+        if resp.get("recovered"):
+            max_sub = min(self.config.subgroup_elements, shard.count)
+            for subgroup in plan_subgroups(shard.count, max_sub):
+                sl = slice(subgroup.start,
+                           subgroup.start + subgroup.count)
+                self._install_host_subgroup(index, subgroup, masters[sl])
+        self.demotions.append((index, cause))
+        telemetry.counter("faults_demotions_total", device=index)
+        kind = ("retry_exhausted" if resp.get("retry_exhausted")
+                else "device_dropout")
+        self._record_incident(
+            kind, key=f"{kind}:device{index}",
+            message=(f"device {index} demoted to host-CPU path "
+                     f"({cause_type}: {cause})"),
+            device=index, cause=cause_type)
+
+    def _install_upstream_shard(self, index: int) -> None:
+        """Install one healthy shard's updated masters from its channel.
+
+        The child wrote final (already dequantized, for §VIII-B runs)
+        FP32 masters into the channel's upstream region subgroup by
+        subgroup; by end of step only the final values matter, so one
+        whole-shard install is bit-identical to the thread path's
+        per-subgroup installs.
+        """
+        shard = self.shards[index]
+        values = self._proc.upstream_view(index)
+        if self.pruning_mask is not None:
+            values = values.copy()
+            self.pruning_mask.slice(shard.start, shard.count).apply(values)
+        self.space.install_fp16_slice(shard.start, values)
+
+    def fault_stats(self) -> Dict[str, object]:
+        """Cumulative fault accounting, merged across worker processes."""
+        stats = super().fault_stats()
+        if getattr(self, "_proc", None) is not None:
+            self._proc.merge_fault_stats(stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    # checkpoint hooks (both backends)
+    # ------------------------------------------------------------------
+    def gather_state_arrays(self) -> Dict[str, np.ndarray]:
+        """Flat masters + moments (+ EF residuals) for checkpointing.
+
+        Maintenance traffic, outside the fault domain; demoted shards
+        are gathered from their host-resident copies, so checkpointing
+        keeps working after graceful degradation — exactly when a
+        checkpoint matters most.
+        """
+        if self._proc is not None:
+            return self._proc.gather_state(self._host_shards)
+        arrays: Dict[str, List[np.ndarray]] = {
+            "master_params": [], **{n: [] for n in self._state_names}}
+        with fault_bypass(self.faults):
+            for index, device in enumerate(self.devices):
+                source = self._host_shards.get(index)
+                if source is None:
+                    source = {name: device.store.read_array(name)
+                              for name in ("master_params",
+                                           *self._state_names)}
+                arrays["master_params"].append(source["master_params"])
+                for name in self._state_names:
+                    arrays[name].append(source[name])
+        out = {name: np.concatenate(parts)
+               for name, parts in arrays.items()}
+        # SmartComp's error-feedback residuals are training state too:
+        # without them a resumed compressed run diverges.
+        if any(fb is not None for fb in self.feedback):
+            out["ef_residual"] = np.concatenate(
+                [feedback.residual for feedback in self.feedback])
+        return out
+
+    def scatter_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Write flat masters + moments back into shard storage."""
+        if self._proc is not None:
+            self._proc.scatter_state(arrays, self._host_shards)
+            return
+        with fault_bypass(self.faults):
+            for index, (device, shard) in enumerate(
+                    zip(self.devices, self.shards)):
+                view = slice(shard.start, shard.end)
+                target = self._host_shards.get(index)
+                if target is not None:
+                    target["master_params"][:] = \
+                        arrays["master_params"][view]
+                    for name in self._state_names:
+                        target[name][:] = arrays[name][view]
+                else:
+                    device.store.write_array("master_params",
+                                             arrays["master_params"][view])
+                    for name in self._state_names:
+                        device.store.write_array(name, arrays[name][view])
+                feedback = self.feedback[index]
+                if feedback is not None and "ef_residual" in arrays:
+                    feedback.residual[:] = arrays["ef_residual"][view]
 
     def _offload_gradients(self, flat_grads: np.ndarray
                            ) -> List[Optional[CompressedGradient]]:
@@ -390,11 +756,8 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
                            flat_grads: np.ndarray) -> np.ndarray:
         """The gradient vector the device's kernel would have consumed."""
         shard = self.shards[index]
-        if compressed is None:
-            return flat_grads[shard.start:shard.end]
-        grads = np.zeros(shard.count, dtype=np.float32)
-        grads[compressed.indices] = compressed.values
-        return grads
+        return dense_shard_grads(compressed,
+                                 flat_grads[shard.start:shard.end])
 
     def _demote_device(self, index: int, cause: BaseException,
                        in_flight=None) -> None:
@@ -467,47 +830,13 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
                            committed_states: Set[Tuple[str, int]]) -> None:
         """Finish a mid-pass-interrupted update exactly, on the host.
 
-        Per subgroup, the salvaged device data is in one of two shapes
-        (the urgent parameter write-back always precedes the lazy state
-        write-backs):
-
-        * params uncommitted — everything is pre-update: recompute the
-          whole subgroup from (pre-params, grads, pre-states);
-        * params committed — masters are post-update; recompute only the
-          state slices whose write-back never landed.  This is exact
-          because every optimizer here has param-independent state
-          transitions (momentum/variance/accumulator depend only on that
-          state and the gradient), so the post-state is reproducible
-          without the pre-params we no longer have.
+        See :func:`recover_in_flight` for the exactness argument.
         """
-        shard = self.shards[index]
         grads = self._dense_shard_grads(index, compressed, flat_grads)
-        max_sub = min(self.config.subgroup_elements, shard.count)
-        for subgroup in plan_subgroups(shard.count, max_sub):
-            sl = slice(subgroup.start, subgroup.start + subgroup.count)
-            params_done = subgroup.start in committed_params
-            if params_done and all(
-                    (name, subgroup.start) in committed_states
-                    for name in self._state_names):
-                continue
-            with scratch_buffers(subgroup.count,
-                                 1 + len(self._state_names)) as blocks:
-                scratch_params = blocks[0]
-                np.copyto(scratch_params, masters[sl])
-                scratch_state = {}
-                for name, block in zip(self._state_names, blocks[1:]):
-                    np.copyto(block, states[name][sl])
-                    scratch_state[name] = block
-                self.optimizer.step(scratch_params, grads[sl],
-                                    scratch_state, self.step_count)
-                if not params_done:
-                    masters[sl] = scratch_params
-                    for name in self._state_names:
-                        states[name][sl] = scratch_state[name]
-                else:
-                    for name in self._state_names:
-                        if (name, subgroup.start) not in committed_states:
-                            states[name][sl] = scratch_state[name]
+        recover_in_flight(self.optimizer, self._state_names,
+                          self.config.subgroup_elements, masters, states,
+                          grads, self.step_count, committed_params,
+                          committed_states)
 
     def _host_update_shard(self, index: int,
                            compressed: Optional[CompressedGradient],
@@ -631,83 +960,17 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
                           ) -> Tuple[Callable[[Subgroup, np.ndarray],
                                               np.ndarray],
                                      Callable[[], None]]:
-        """Build the per-subgroup gradient loader for one update pass.
-
-        SmartUpdate reads dense gradients over P2P; SmartComp reads the
-        compressed stream over P2P and runs the FPGA decompressor to fill
-        the gradient buffer for the subgroup's index range (§V-B).
-
-        The compressed stream is read over the internal path *once per
-        update pass* directly into arena-staged blocks cached in "FPGA
-        DRAM" for the pass — it is read-only while the pass runs — with
-        one precomputed ``searchsorted`` over the subgroup boundaries.
-        The per-subgroup closure then just slices and rebases indices in
-        place, instead of re-reading the whole O(kept) stream for every
-        subgroup (which made internal-read traffic O(subgroups x kept)).
-
-        Returns ``(loader, release)``; the caller must invoke ``release``
-        on the same worker thread once the pass ends to return the staged
-        stream blocks to the arena.
-        """
-        device = self.devices[index]
-        if compressed is None:
-            def load_dense(subgroup: Subgroup,
-                           buffer: np.ndarray) -> np.ndarray:
-                return device.p2p_read_into("grads", subgroup.start, buffer,
-                                            subgroup.count)
-            return load_dense, lambda: None
-
-        decompressor = self.decompressors[index]
-        arena = thread_arena()
-        kept = device.store.region("comp_indices").num_elements
-        staged = [arena.acquire(kept, dtype=np.int32),
-                  arena.acquire(kept, dtype=np.float32),
-                  arena.acquire(kept, dtype=np.int32)]
-        idx_stage, val_stage, local_stage = staged
-
-        def release() -> None:
-            for block in staged:
-                arena.release(block)
-
-        try:
-            indices = device.p2p_read_into("comp_indices", 0, idx_stage,
-                                           kept)
-            values = device.p2p_read_into("comp_values", 0, val_stage,
-                                          kept)
-        except BaseException:
-            release()
-            raise
-        # Subgroups tile [0, shard.count) in order, so one sorted lookup
-        # of every boundary yields each subgroup's [lo, hi) stream slice.
-        edges = np.fromiter(
-            (subgroup.start for subgroup in subgroups),
-            dtype=np.int64, count=len(subgroups))
-        edges = np.append(edges,
-                          subgroups[-1].start + subgroups[-1].count)
-        bounds = np.searchsorted(indices, edges, side="left")
-
-        def load_compressed(subgroup: Subgroup,
-                            buffer: np.ndarray) -> np.ndarray:
-            # The decompressor selects the cached entries belonging to
-            # this subgroup, rebases them to subgroup-local positions in
-            # the staging block, and scatters into the gradient buffer.
-            lo = int(bounds[subgroup.index])
-            hi = int(bounds[subgroup.index + 1])
-            local_view = local_stage[:hi - lo]
-            np.subtract(indices[lo:hi], np.int32(subgroup.start),
-                        out=local_view)
-            local = CompressedGradient(
-                indices=local_view,
-                values=values[lo:hi],
-                original_size=subgroup.count)
-            return decompressor.run(local, buffer)
-
-        return load_compressed, release
+        """Per-subgroup gradient loader (see :func:`make_grad_loader`)."""
+        return make_grad_loader(self.devices[index],
+                                self.decompressors[index], compressed,
+                                subgroups)
 
     # ------------------------------------------------------------------
     def _release(self, abandon: bool = False) -> None:
         """Release pool, handlers and devices (safe on partial state)."""
         self._teardown_flight()
+        if getattr(self, "_proc", None) is not None:
+            self._proc.close(abandon=abandon)
         if self._pool is not None:
             self._pool.close()
         for handler in self.handlers:

@@ -123,6 +123,10 @@ class FlightRecorder:
         self._local = threading.local()
         self._segments: List[_RingSegment] = []
         self._segments_lock = threading.Lock()
+        # Foreign segments hold events forwarded from other processes'
+        # recorders (one ring per worker/thread label, merged like any
+        # local worker segment).
+        self._foreign: Dict[str, _RingSegment] = {}
 
     # ------------------------------------------------------------------
     # the hot path
@@ -154,6 +158,56 @@ class FlightRecorder:
         self._segment().append(
             (next(self._seq), self._clock() - self._epoch, kind, name,
              attrs or None))
+
+    # ------------------------------------------------------------------
+    # cross-process forwarding
+    # ------------------------------------------------------------------
+    def export_since(self, cursor: int):
+        """Events newer than ``cursor`` as picklable tuples.
+
+        The child-process half of event forwarding: a worker drains its
+        own recorder with this after every task and ships the tuples
+        (``(abs_ts, kind, name, attrs, thread)``) over the pipe.
+        Timestamps are absolute clock values so the parent can rebase
+        them onto its own epoch — on Linux ``perf_counter`` is
+        CLOCK_MONOTONIC, one clock domain across processes.  Returns
+        ``(new_cursor, tuples)``.
+        """
+        out = []
+        last = cursor
+        for event in self.events():
+            seq = int(event["seq"])
+            if seq <= cursor:
+                continue
+            out.append((float(event["ts"]) + self._epoch,
+                        str(event["kind"]), str(event["name"]),
+                        event["attrs"] or None, str(event["thread"])))
+            last = max(last, seq)
+        return last, out
+
+    def ingest(self, worker: str, events) -> None:
+        """Merge events forwarded from another process's recorder.
+
+        The parent half: each forwarded tuple lands in a dedicated
+        foreign ring segment (keyed ``worker/thread``) with a *fresh*
+        parent sequence number, so the merged timeline stays totally
+        ordered and a chatty child still cannot evict the parent's own
+        events.  Timestamps are rebased from absolute clock values to
+        this recorder's epoch.
+        """
+        for ts_abs, kind, name, attrs, thread in events:
+            key = f"{worker}/{thread}" if thread else worker
+            segment = self._foreign.get(key)
+            if segment is None:
+                with self._segments_lock:
+                    segment = self._foreign.get(key)
+                    if segment is None:
+                        segment = _RingSegment(self.capacity_per_worker,
+                                               0, key)
+                        self._foreign[key] = segment
+                        self._segments.append(segment)
+            segment.append((next(self._seq), float(ts_abs) - self._epoch,
+                            kind, name, attrs))
 
     # ------------------------------------------------------------------
     # merge-on-dump

@@ -179,6 +179,49 @@ class SpanTracer:
         return _SpanContext(self, self.begin(name, **attrs))
 
     # ------------------------------------------------------------------
+    # cross-process forwarding
+    # ------------------------------------------------------------------
+    def export_drain(self) -> List[Dict[str, object]]:
+        """Atomically take every finished span as picklable dicts.
+
+        The child-process half of span forwarding: times are shipped as
+        *absolute* clock seconds (``perf_counter`` is CLOCK_MONOTONIC on
+        Linux — one domain across processes) so the receiving tracer can
+        rebase them onto its own epoch.
+        """
+        with self._lock:
+            spans, self.spans = self.spans, []
+        return [{
+            "name": span.name,
+            "start": span.start + self._epoch,
+            "end": span.end + self._epoch,
+            "thread_id": span.thread_id,
+            "thread_name": span.thread_name,
+            "depth": span.depth,
+            "attrs": span.attrs,
+        } for span in spans]
+
+    def ingest(self, spans: List[Dict[str, object]]) -> None:
+        """Merge spans forwarded by :meth:`export_drain` in a worker.
+
+        Times are rebased from absolute clock values to this tracer's
+        epoch.  Deliberately does *not* re-record span ends to the
+        flight recorder — the originating process already captured them,
+        and those events arrive via the recorder's own forwarding.
+        """
+        converted = [Span(
+            name=str(data["name"]),
+            start=float(data["start"]) - self._epoch,
+            end=float(data["end"]) - self._epoch,
+            thread_id=int(data.get("thread_id", 0)),
+            thread_name=str(data.get("thread_name", "foreign")),
+            depth=int(data.get("depth", 0)),
+            attrs=dict(data.get("attrs") or {}),
+        ) for data in spans]
+        with self._lock:
+            self.spans.extend(converted)
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def by_name(self, name: str) -> List[Span]:

@@ -67,8 +67,37 @@ def test_load_history_migrates_legacy_single_report(tmp_path):
     assert history["schema"] == HISTORY_SCHEMA
     assert len(history["entries"]) == 1
     entry = history["entries"][0]
-    assert entry["timestamp"] == 0.0  # pre-history seed entry
+    # The migrated entry is stamped from the file's mtime — the best
+    # bound on when the legacy run happened — never the 0.0 placeholder.
+    assert entry["timestamp"] == pytest.approx(path.stat().st_mtime)
     assert entry["configs"] == {"1x1": 12.0, "2x2": 18.0}
+
+
+def test_load_history_repairs_zero_timestamps(tmp_path):
+    # Histories written before the mtime repair carry timestamp: 0.0
+    # seed entries; loading stamps them from the file's mtime in place.
+    path = tmp_path / "history.json"
+    history = {"schema": HISTORY_SCHEMA,
+               "entries": [fake_entry({"1x1": 12.0}, timestamp=0.0),
+                           fake_entry({"1x1": 13.0}, timestamp=456.0)]}
+    save_history(str(path), history)
+    loaded = load_history(str(path))
+    stamps = [entry["timestamp"] for entry in loaded["entries"]]
+    assert stamps[0] == pytest.approx(path.stat().st_mtime)
+    assert stamps[1] == 456.0  # real timestamps are left alone
+
+
+def test_backend_suffixes_config_key():
+    """Process-backend runs get their own config key (``@process``), so
+    they never share a median baseline with GIL-bound thread runs of the
+    same geometry; pre-backend entries keep the bare thread key."""
+    report = fake_report({"2x2": 18.0})
+    report["runs"][0]["backend"] = "process"
+    assert entry_from_report(report)["configs"] == {"2x2@process": 18.0}
+    report["runs"][0]["backend"] = "thread"
+    assert entry_from_report(report)["configs"] == {"2x2": 18.0}
+    del report["runs"][0]["backend"]  # legacy entry
+    assert entry_from_report(report)["configs"] == {"2x2": 18.0}
 
 
 def test_append_save_load_round_trip(tmp_path):

@@ -79,18 +79,21 @@ def test_engine_family_bitwise_identical(tmp_path_factory, dim,
     ratio=st.sampled_from([None, 0.02]),
     optimizer=st.sampled_from(["adam", "sgd"]),
     subgroup=st.sampled_from([512, 4096]),
+    backend=st.sampled_from(["thread", "process"]),
     seed=st.integers(0, 100),
 )
 def test_parallel_execution_bitwise_identical(tmp_path_factory, num_csds,
                                               ratio, optimizer, subgroup,
-                                              seed):
-    """Thread-pooled fan-out is invisible to the training trajectory.
+                                              backend, seed):
+    """Pooled fan-out is invisible to the training trajectory.
 
-    For any shard count and either gradient path (dense SmartUpdate or
-    compressed SmartComp with error feedback), running the per-CSD
-    update passes on ``num_csds`` worker threads must produce the same
-    parameters bit-for-bit AND the same metered traffic byte-for-byte
-    as the sequential loop — concurrency may only change wall-clock.
+    For any shard count, either gradient path (dense SmartUpdate or
+    compressed SmartComp with error feedback), and either execution
+    backend (worker threads or worker processes over shared-memory
+    shards), running the per-CSD update passes concurrently must
+    produce the same parameters bit-for-bit AND the same metered
+    traffic byte-for-byte as the sequential loop — concurrency may only
+    change wall-clock.
     """
     rng = np.random.default_rng(seed)
     tokens = rng.integers(0, 16, size=(4, 8))
@@ -103,11 +106,12 @@ def test_parallel_execution_bitwise_identical(tmp_path_factory, num_csds,
                         num_heads=2, max_seq_len=8),
             num_classes=2, seed=seed)
 
-    def train(tag, workers):
+    def train(tag, workers, run_backend="thread"):
         config = TrainingConfig(
             optimizer=optimizer, optimizer_kwargs={"lr": 1e-2},
             subgroup_elements=subgroup, compression_ratio=ratio,
-            error_feedback=ratio is not None, parallel_csds=workers)
+            error_feedback=ratio is not None, parallel_csds=workers,
+            parallel_backend=run_backend)
         engine = SmartInfinityEngine(make_model(), loss_fn,
                                      str(workdir / tag),
                                      num_csds=num_csds, config=config)
@@ -121,6 +125,7 @@ def test_parallel_execution_bitwise_identical(tmp_path_factory, num_csds,
         return params, traffic
 
     seq_params, seq_traffic = train("seq", workers=1)
-    par_params, par_traffic = train("par", workers=max(2, num_csds))
+    par_params, par_traffic = train("par", workers=max(2, num_csds),
+                                    run_backend=backend)
     np.testing.assert_array_equal(seq_params, par_params)
     assert seq_traffic == par_traffic
