@@ -30,10 +30,10 @@ def _train(error_feedback, ratio=RATIO):
                             optimizer_kwargs={"lr": 5e-3},
                             subgroup_elements=8192,
                             compression_ratio=ratio,
-                            error_feedback=error_feedback)
+                            error_feedback=error_feedback, num_csds=2)
     with tempfile.TemporaryDirectory() as workdir:
         engine = SmartInfinityEngine(model, lambda m, t, l: m.loss(t, l),
-                                     workdir, num_csds=2, config=config)
+                                     workdir, config=config)
         for epoch in range(EPOCHS):
             rng = np.random.default_rng(epoch)
             for tokens, labels in dataset.batches(8, rng):

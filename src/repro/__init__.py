@@ -25,14 +25,16 @@ from .errors import (ArenaError, CapacityError, DeviceFailedError,
                      FaultError, FaultInjectionError,
                      GradientOverflowError, HardwareConfigError,
                      KernelError, PartitionError, ReproError,
-                     RetryExhaustedError, SimulationError, StorageError,
-                     TrainingError)
+                     RetryExhaustedError, ScenarioError, SimulationError,
+                     StorageError, TrainingError)
 from .memory import (ArenaStats, BufferArena, aggregate_arena_stats,
                      thread_arena)
 from .faults import FaultInjector, FaultPlan, FaultRule, RetryPolicy
 from .runtime import (BaselineOffloadEngine, HostOffloadEngine,
                       SmartInfinityEngine, StepResult, TrainingConfig,
                       expected_traffic, load_checkpoint, save_checkpoint)
+from .scenarios import Scenario, ScenarioRunner, load_scenario
+from .telemetry.health import Rule, RulesEngine
 from .version import __version__
 
 __all__ = [
@@ -56,6 +58,11 @@ __all__ = [
     "ReproError",
     "RetryExhaustedError",
     "RetryPolicy",
+    "Rule",
+    "RulesEngine",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioRunner",
     "SimulationError",
     "SmartInfinityEngine",
     "StepResult",
@@ -67,6 +74,7 @@ __all__ = [
     "create_engine",
     "expected_traffic",
     "load_checkpoint",
+    "load_scenario",
     "save_checkpoint",
     "thread_arena",
 ]

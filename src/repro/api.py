@@ -1,4 +1,4 @@
-"""The supported public construction surface: one factory, three engines.
+"""The canonical public API surface: one factory, one config, one runner.
 
 Historically each engine had its own constructor signature —
 ``BaselineOffloadEngine(..., num_ssds=...)``,
@@ -16,9 +16,20 @@ config file.
     engine = create_engine("smart", model, loss_fn, "/data/run0",
                            config=TrainingConfig(num_csds=4))
 
-The old per-engine constructors keep working but emit
-``DeprecationWarning``; new code (including this repo's CLI, bench
-harness and experiments) goes through the factory.
+The old per-engine ctor kwargs completed their deprecation cycle and now
+raise :class:`~repro.errors.TrainingError` with the exact
+``create_engine`` migration in the message.
+
+Beyond the factory, this module re-exports the rest of the supported
+surface so one import site covers configuration (:class:`TrainingConfig`),
+chaos (:class:`~repro.faults.FaultPlan`), health SLOs
+(:class:`~repro.telemetry.health.Rule` /
+:class:`~repro.telemetry.health.RulesEngine`), and replayable campaigns
+(:class:`~repro.scenarios.Scenario` /
+:class:`~repro.scenarios.ScenarioRunner`).  Anything in ``__all__`` here
+(mirrored by ``repro/__init__``) follows the documented deprecation
+policy (docs/API.md); everything else is internal and may change without
+notice.
 """
 
 from __future__ import annotations
@@ -26,14 +37,29 @@ from __future__ import annotations
 from typing import Optional
 
 from .errors import TrainingError
+from .faults import FaultPlan
 from .nn.modules import Module
 from .runtime.engine import (BaselineOffloadEngine, LossFn,
                              MixedPrecisionTrainer, TrainingConfig)
 from .runtime.host_offload import HostOffloadEngine
 from .runtime.smart import SmartInfinityEngine
+from .scenarios import Scenario, ScenarioRunner, load_scenario
+from .telemetry.health import Rule, RulesEngine
 
 #: Engine modes accepted by :func:`create_engine`.
 ENGINE_MODES = ("baseline", "host_offload", "smart")
+
+__all__ = [
+    "ENGINE_MODES",
+    "FaultPlan",
+    "Rule",
+    "RulesEngine",
+    "Scenario",
+    "ScenarioRunner",
+    "TrainingConfig",
+    "create_engine",
+    "load_scenario",
+]
 
 
 def create_engine(mode: str, model: Module, loss_fn: LossFn,

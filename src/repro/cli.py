@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands:
+Ten subcommands:
 
 * ``list-models`` — print the analytic model zoo (names, sizes, shapes).
 * ``simulate`` — run one DES training-iteration configuration and print
@@ -31,6 +31,12 @@ Nine subcommands:
   health summary (signals, alerts, flight-recorder stats) next to its
   arena stats; ``--no-flight`` disables the recorder to measure its
   overhead.
+* ``scenario`` — declarative chaos + workload campaigns
+  (``repro.scenarios``): ``list`` the bundled (or given) scenario
+  files, ``run`` them with per-phase pass/fail against any engine mode
+  and backend, or ``replay`` one and byte-compare its seeded event log
+  against a previous run's.  Bare ``scenario run`` runs every bundled
+  campaign in ``examples/scenarios/``.
 
 Examples::
 
@@ -46,19 +52,31 @@ Examples::
     python -m repro trace --model gpt2-4.0b --csds 6 --method su_o_c
     python -m repro bench --quick --out BENCH_parallel.json
     python -m repro bench --quick --compare
+    python -m repro scenario list
+    python -m repro scenario run examples/scenarios/dropout_recovery.json
+    python -m repro scenario run --backend process --chaos-seed 7
+    python -m repro scenario replay examples/scenarios/dropout_recovery.json \\
+        --log events.jsonl
 
 ``simulate`` and ``analyze`` accept ``--metrics`` to print a
 Prometheus-style exposition of per-channel counters and gauges; ``top``
 extends it with the attribution series and can also write a structured
-JSONL event log (``--jsonl``).  ``top`` and ``health`` accept ``--slo``
-with a JSON rules file (see ``examples/slo.json``); chaos runs of
-``trace`` and ``health`` write automatic ``smart-infinity/flightrec/v1``
-dumps on incidents (``--dump-dir``, default ``flightrec/``).
+JSONL event log (``--jsonl``).  Every engine-backed subcommand
+(``top``, ``health``, ``trace``, ``bench``, ``scenario``) shares one
+flag vocabulary — ``--backend``, ``--workers``, ``--fault-plan``,
+``--chaos-seed``, ``--slo`` — with identical semantics everywhere
+(``top`` is simulation-only and notes when it ignores the engine-side
+flags).  ``--slo`` takes a JSON rules file (see ``examples/slo.json``);
+chaos runs of ``trace`` and ``health`` write automatic
+``smart-infinity/flightrec/v1`` dumps on incidents (``--dump-dir``,
+default ``flightrec/``).
 """
 
 from __future__ import annotations
 
 import argparse
+import glob as _glob
+import os
 import sys
 import tempfile
 import time
@@ -79,6 +97,10 @@ from .perf.sweeps import render_sweep, sweep_devices, sweep_models, \
 from .perf.workload import make_workload
 
 _GPUS = {"a5000": a5000, "a100": a100_40g, "a4000": a4000}
+
+#: Where ``scenario`` looks for campaigns when none are given (relative
+#: to the working directory, i.e. a repo checkout).
+_BUNDLED_SCENARIO_DIR = os.path.join("examples", "scenarios")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -142,9 +164,7 @@ def _build_parser() -> argparse.ArgumentParser:
     top.add_argument("--metrics", action="store_true",
                      help="also print the Prometheus-style exposition "
                           "of the attribution series")
-    top.add_argument("--slo", default=None, metavar="RULES_JSON",
-                     help="extra SLO rules (examples/slo.json shape) "
-                          "applied in the health/alerts pane")
+    _add_shared_options(top)
 
     health = commands.add_parser(
         "health", help="step-health monitor: per-step signals, SLO "
@@ -158,13 +178,6 @@ def _build_parser() -> argparse.ArgumentParser:
     health.add_argument("--steps", type=int, default=5,
                         help="probe training steps per report "
                              "(default 5)")
-    health.add_argument("--workers", type=int, default=None,
-                        help="worker threads for the probe's per-CSD "
-                             "fan-out")
-    _add_backend_flag(health)
-    health.add_argument("--slo", default=None, metavar="RULES_JSON",
-                        help="SLO rules file (examples/slo.json shape; "
-                             "default: the built-in rules)")
     health.add_argument("--dump-dir", default="flightrec",
                         help="directory for automatic flight-recorder "
                              "incident dumps (default flightrec/)")
@@ -177,7 +190,7 @@ def _build_parser() -> argparse.ArgumentParser:
                              "--interval seconds until Ctrl-C")
     health.add_argument("--interval", type=float, default=2.0,
                         help="refresh period for --watch (default 2)")
-    _add_fault_flags(health)
+    _add_shared_options(health)
 
     trace = commands.add_parser(
         "trace", help="export a Chrome trace-event JSON for Perfetto")
@@ -198,12 +211,7 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--metrics", action="store_true",
                        help="also print the Prometheus-style metrics "
                             "collected during the trace")
-    trace.add_argument("--workers", type=int, default=None,
-                       help="worker threads for the functional proxy's "
-                            "per-CSD fan-out (default: one per proxy "
-                            "device, so the trace shows the overlap)")
-    _add_backend_flag(trace)
-    _add_fault_flags(trace)
+    _add_shared_options(trace)
 
     sweep = commands.add_parser(
         "sweep", help="sweep one axis and tabulate speedups")
@@ -251,23 +259,56 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable the flight recorder for this bench "
                             "(to measure its overhead against a default "
                             "run)")
-    _add_backend_flag(bench)
-    _add_fault_flags(bench)
+    _add_shared_options(bench)
+
+    scenario = commands.add_parser(
+        "scenario", help="declarative chaos + workload campaigns: "
+                         "list, run, or replay scenario files "
+                         "(repro.scenarios)")
+    scenario.add_argument(
+        "action", choices=("list", "run", "replay"),
+        help="list: tabulate the scenario files; run: execute them "
+             "with per-phase pass/fail; replay: re-run one scenario "
+             "and byte-compare its event log against --log")
+    scenario.add_argument(
+        "paths", nargs="*", metavar="SCENARIO_JSON",
+        help="scenario files, or directories scanned for *.json "
+             f"(default: the bundled {_BUNDLED_SCENARIO_DIR}/)")
+    scenario.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="keep per-scenario run artifacts (engine storage, splice "
+             "checkpoints, flight dumps, events.jsonl) under DIR "
+             "instead of a discarded temp dir")
+    scenario.add_argument(
+        "--log", default=None, metavar="EVENTS_JSONL",
+        help="run (single scenario): write the event log here; "
+             "replay: the previous run's log to byte-compare against")
+    _add_shared_options(scenario)
     return parser
 
 
-def _add_backend_flag(subparser) -> None:
+def _add_shared_options(subparser) -> None:
+    """The flag vocabulary shared by every engine-backed subcommand.
+
+    One definition keeps ``--backend``/``--workers``/``--fault-plan``/
+    ``--chaos-seed``/``--slo`` byte-identical (names, defaults, help)
+    across ``top``, ``health``, ``trace``, ``bench`` and ``scenario``.
+    ``--backend`` defaults to None so handlers can tell "explicitly
+    thread" from "unset" (``top`` ignores engine-side flags with a
+    notice; everything else falls back to thread).
+    """
     subparser.add_argument(
-        "--backend", default="thread",
+        "--backend", default=None,
         choices=("thread", "process", "auto"),
         help="execution backend for the per-CSD fan-out: thread "
              "(shared-address-space pool), process (per-CSD worker "
              "processes with shared-memory shards — scales past the "
              "GIL), or auto (process when >1 usable CPU); training "
              "output is bit-identical either way (default thread)")
-
-
-def _add_fault_flags(subparser) -> None:
+    subparser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="workers for the per-CSD fan-out (default: one per "
+             "device); bit-identity makes this a pure throughput knob")
     subparser.add_argument(
         "--fault-plan", default=None, metavar="PLAN_JSON",
         help="JSON fault plan (repro.faults.FaultPlan) injected into the "
@@ -275,7 +316,12 @@ def _add_fault_flags(subparser) -> None:
     subparser.add_argument(
         "--chaos-seed", type=int, default=None, metavar="SEED",
         help="re-seed the fault plan (or, without --fault-plan, enable "
-             "the default transient-chaos plan) with SEED")
+             "the default transient-chaos plan) with SEED; for "
+             "scenario runs this re-seeds the whole campaign")
+    subparser.add_argument(
+        "--slo", default=None, metavar="RULES_JSON",
+        help="SLO rules file (examples/slo.json shape) replacing the "
+             "built-in rule set")
 
 
 def _resolve_fault_plan(args) -> Optional[FaultPlan]:
@@ -287,6 +333,13 @@ def _resolve_fault_plan(args) -> Optional[FaultPlan]:
         plan = (plan or FaultPlan.default_chaos()).with_seed(
             args.chaos_seed)
     return plan
+
+
+def _resolve_slo_rules(args) -> Optional[list]:
+    """--slo as a list of rule dicts (TrainingConfig.slo_rules shape)."""
+    if args.slo is None:
+        return None
+    return [rule.to_dict() for rule in telemetry.load_slo_rules(args.slo)]
 
 
 def _render_fault_stats(stats) -> str:
@@ -365,6 +418,16 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_top(args) -> int:
+    # top shares the engine flag vocabulary but renders simulations /
+    # finished traces, so the engine-side flags have nothing to act on.
+    ignored = [flag for flag, value in (
+        ("--backend", args.backend), ("--workers", args.workers),
+        ("--fault-plan", args.fault_plan),
+        ("--chaos-seed", args.chaos_seed)) if value is not None]
+    if ignored:
+        print(f"[top is simulation-only; ignoring "
+              f"{', '.join(ignored)} — use health/trace/bench/scenario "
+              "to drive the functional engine]")
     slo_rules = (telemetry.load_slo_rules(args.slo)
                  if args.slo is not None else None)
 
@@ -500,7 +563,8 @@ def _cmd_trace(args) -> int:
                     workers=args.workers, fault_plan=fault_plan,
                     steps=3 if fault_plan is not None else 1,
                     dump_dir="flightrec" if fault_plan is not None
-                    else None, backend=args.backend)
+                    else None, slo_rules=_resolve_slo_rules(args),
+                    backend=args.backend or "thread")
         telemetry.record_channel_metrics(
             session.registry, trace.fabric.all_channels(),
             horizon=trace.breakdown.total, method=args.method)
@@ -569,10 +633,7 @@ def _render_health_report(result: dict) -> str:
 
 
 def _cmd_health(args) -> int:
-    slo_rules = None
-    if args.slo is not None:
-        slo_rules = [rule.to_dict()
-                     for rule in telemetry.load_slo_rules(args.slo)]
+    slo_rules = _resolve_slo_rules(args)
     fault_plan = _resolve_fault_plan(args)
 
     def probe() -> dict:
@@ -581,7 +642,7 @@ def _cmd_health(args) -> int:
                 args.csds, args.method, args.ratio, workers=args.workers,
                 fault_plan=fault_plan, steps=args.steps,
                 dump_dir=args.dump_dir, slo_rules=slo_rules,
-                backend=args.backend)
+                backend=args.backend or "thread")
 
     if args.watch and not args.once:
         try:
@@ -618,7 +679,9 @@ def _cmd_bench(args) -> int:
                                 csd_counts=csd_counts, steps=args.steps,
                                 fault_plan=_resolve_fault_plan(args),
                                 flight=not args.no_flight,
-                                backend=args.backend)
+                                backend=args.backend or "thread",
+                                workers=args.workers,
+                                slo_rules=_resolve_slo_rules(args))
     print(render_report(report))
     print(f"[saved to {args.out}]")
     if args.compare:
@@ -640,6 +703,133 @@ def _cmd_bench(args) -> int:
         if not comparison.ok:
             return 1
     return 0
+
+
+def _scenario_files(paths: List[str]) -> List[str]:
+    """Expand scenario files / directories into a flat sorted list."""
+    out: List[str] = []
+    for root in (paths or [_BUNDLED_SCENARIO_DIR]):
+        if os.path.isdir(root):
+            out.extend(sorted(_glob.glob(os.path.join(root, "*.json"))))
+        else:
+            out.append(root)
+    return out
+
+
+def _render_scenario_report(report) -> str:
+    """Per-phase pass/fail for the terminal, failed checks expanded."""
+    lines = [f"scenario {report.scenario} (seed {report.seed}): "
+             f"{'PASS' if report.passed else 'FAIL'}"]
+    for campaign in report.campaigns:
+        lines.append(f"  campaign {campaign.label}: "
+                     f"{'PASS' if campaign.passed else 'FAIL'}")
+        for phase in campaign.phases:
+            ok = sum(1 for check in phase.checks if check.ok)
+            lines.append(f"    [{'ok' if phase.passed else '!!'}] "
+                         f"{phase.name} ({phase.kind}, {phase.steps} "
+                         f"step(s), {ok}/{len(phase.checks)} checks)")
+            for check in phase.checks:
+                if not check.ok:
+                    lines.append(f"         failed {check.check}: "
+                                 f"expected {check.expected!r}, got "
+                                 f"{check.actual!r}")
+            if phase.error is not None:
+                lines.append(f"         error: {phase.error}")
+    if report.log_path is not None:
+        lines.append(f"  [event log: {report.log_path} "
+                     f"({len(report.events)} events)]")
+    return "\n".join(lines)
+
+
+def _cmd_scenario(args) -> int:
+    from .errors import ReproError
+    from .scenarios import ScenarioRunner, load_scenario
+
+    files = _scenario_files(args.paths)
+    if not files:
+        searched = ", ".join(args.paths or [_BUNDLED_SCENARIO_DIR])
+        print(f"no scenario files found (searched: {searched}); pass "
+              "scenario JSONs or run from a repo checkout")
+        return 2
+    scenarios = []
+    for path in files:
+        try:
+            scenarios.append((path, load_scenario(path)))
+        except (ReproError, OSError) as exc:
+            print(f"cannot load scenario {path}: {exc}")
+            return 2
+
+    if args.action == "list":
+        width = max(len(s.name) for _, s in scenarios)
+        print(f"{'name'.ljust(width)}  {'engine':<12} {'seed':>5} "
+              f"{'phases':>7} {'campaigns':>9}  description")
+        for _, scenario in scenarios:
+            print(f"{scenario.name.ljust(width)}  "
+                  f"{scenario.engine:<12} {scenario.seed:>5} "
+                  f"{len(scenario.phases):>7} "
+                  f"{len(scenario.campaign_configs()):>9}  "
+                  f"{scenario.description}")
+        return 0
+
+    plan = (FaultPlan.from_json_file(args.fault_plan)
+            if args.fault_plan is not None else None)
+
+    def build_runner(scenario, workdir=None, log_path=None):
+        return ScenarioRunner(
+            scenario, workdir=workdir, log_path=log_path,
+            backend=args.backend, chaos_seed=args.chaos_seed,
+            workers=args.workers, slo_rules=_resolve_slo_rules(args),
+            fault_plan=plan)
+
+    if args.action == "replay":
+        if len(scenarios) != 1 or args.log is None:
+            print("replay needs exactly one scenario file and --log "
+                  "pointing at a previous run's event log")
+            return 2
+        try:
+            with open(args.log) as handle:
+                previous = handle.read()
+        except OSError as exc:
+            print(f"cannot read --log {args.log}: {exc}")
+            return 2
+        report = build_runner(scenarios[0][1]).run()
+        print(_render_scenario_report(report))
+        if report.log_text == previous:
+            print(f"replay: event log byte-identical to {args.log} "
+                  f"({len(report.events)} events)")
+            return 0 if report.passed else 1
+        old, new = previous.splitlines(), report.log_text.splitlines()
+        for lineno, (a, b) in enumerate(zip(old, new), start=1):
+            if a != b:
+                print(f"replay: DIVERGED at log line {lineno}:\n"
+                      f"  previous: {a}\n  this run: {b}")
+                break
+        else:
+            print(f"replay: DIVERGED — log length differs "
+                  f"({len(old)} vs {len(new)} lines)")
+        return 1
+
+    # run
+    if args.log is not None and len(scenarios) > 1:
+        print("--log applies to a single scenario; pass one file or "
+              "use --out-dir for per-scenario events.jsonl logs")
+        return 2
+    failures = 0
+    for index, (path, scenario) in enumerate(scenarios):
+        if index:
+            print()
+        workdir = None
+        if args.out_dir is not None:
+            workdir = os.path.join(args.out_dir, scenario.name)
+            os.makedirs(workdir, exist_ok=True)
+        report = build_runner(scenario, workdir=workdir,
+                              log_path=args.log).run()
+        print(_render_scenario_report(report))
+        failures += 0 if report.passed else 1
+    if len(scenarios) > 1:
+        print(f"\n{len(scenarios) - failures}/{len(scenarios)} "
+              "scenario(s) passed")
+    return 1 if failures else 0
 
 
 def _cmd_sweep(args) -> int:
@@ -669,6 +859,7 @@ _HANDLERS = {
     "experiment": _cmd_experiment,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "scenario": _cmd_scenario,
 }
 
 

@@ -113,3 +113,7 @@ class TrainingError(ReproError):
 
 class GradientOverflowError(TrainingError):
     """Gradients contained NaN/Inf after unscaling; the step must be skipped."""
+
+
+class ScenarioError(ReproError):
+    """A malformed or failed chaos/workload campaign (see :mod:`repro.scenarios`)."""

@@ -1,8 +1,8 @@
 """Storage-offloaded training runtime: baseline and Smart-Infinity engines."""
 
 from .checkpoint import load_checkpoint, save_checkpoint
-from .engine import (BaselineOffloadEngine, LossFn, MixedPrecisionTrainer,
-                     StepResult, TrainingConfig)
+from .engine import (BaselineOffloadEngine, CONFIG_SCHEMA_VERSION, LossFn,
+                     MixedPrecisionTrainer, StepResult, TrainingConfig)
 from .host_offload import HostOffloadEngine
 from .parallel import (CSDWorkerPool, ProcessCSDWorkerPool,
                        resolve_backend, resolve_workers, usable_cpus)
@@ -13,6 +13,7 @@ from .stats import IterationTraffic, TrafficMeter, expected_traffic
 
 __all__ = [
     "BaselineOffloadEngine",
+    "CONFIG_SCHEMA_VERSION",
     "CSDWorkerPool",
     "HostOffloadEngine",
     "load_checkpoint",

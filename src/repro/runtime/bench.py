@@ -135,14 +135,16 @@ def _condense_health(summary: Dict[str, object]) -> Dict[str, object]:
 
 def _run_one(workload: BenchWorkload, num_csds: int, workers: int,
              fault_plan: Optional[FaultPlan] = None,
-             flight: bool = True, backend: str = "thread") -> BenchRun:
+             flight: bool = True, backend: str = "thread",
+             slo_rules: Optional[List[Dict]] = None) -> BenchRun:
     config = TrainingConfig(
         optimizer="adam", optimizer_kwargs={"lr": 1e-3},
         subgroup_elements=workload.subgroup_elements,
         kernel_chunk_elements=workload.kernel_chunk_elements,
         parallel_csds=workers, num_csds=num_csds,
         parallel_backend=backend,
-        fault_plan=fault_plan, flight_recorder=flight)
+        fault_plan=fault_plan, flight_recorder=flight,
+        slo_rules=slo_rules)
     resolved_backend = resolve_backend(backend, workers)
     tokens, labels = workload.make_batch()
     with tempfile.TemporaryDirectory(prefix="bench-csd") as workdir:
@@ -218,17 +220,20 @@ def run_parallel_bench(quick: bool = False,
                        fault_plan: Optional[FaultPlan] = None,
                        flight: bool = True,
                        backend: str = "thread",
+                       workers: Optional[int] = None,
+                       slo_rules: Optional[List[Dict]] = None,
                        ) -> Dict[str, object]:
     """Run the full benchmark matrix and (optionally) write the report.
 
     For each CSD count the sequential configuration (``workers=1``,
     always thread-backed) runs first, then — for counts above one — the
     pooled configuration with one worker per CSD on ``backend``
-    (``thread``, ``process`` or ``auto``).  Bit-identity between the two
-    is checked here, not just in the test suite, so a published JSON is
-    self-vouching.  Under a ``fault_plan`` the check still holds: fault
-    streams are keyed per device, not per thread or process, so chaos is
-    schedule-independent.
+    (``thread``, ``process`` or ``auto``), or with ``workers`` workers
+    when given.  Bit-identity between the two is checked here, not just
+    in the test suite, so a published JSON is self-vouching.  Under a
+    ``fault_plan`` the check still holds: fault streams are keyed per
+    device, not per thread or process, so chaos is schedule-independent.
+    ``slo_rules`` replaces the default SLO rule set on every run.
     """
     workload = QUICK_WORKLOAD if quick else FULL_WORKLOAD
     if steps is not None:
@@ -241,13 +246,15 @@ def run_parallel_bench(quick: bool = False,
     speedups: Dict[str, Dict[str, float]] = {}
     for num_csds in csd_counts:
         sequential = _run_one(workload, num_csds, workers=1,
-                              fault_plan=fault_plan, flight=flight)
+                              fault_plan=fault_plan, flight=flight,
+                              slo_rules=slo_rules)
         runs.append(sequential)
         if num_csds == 1:
             continue
-        parallel = _run_one(workload, num_csds, workers=num_csds,
+        parallel = _run_one(workload, num_csds,
+                            workers=workers or num_csds,
                             fault_plan=fault_plan, flight=flight,
-                            backend=backend)
+                            backend=backend, slo_rules=slo_rules)
         runs.append(parallel)
         if parallel.param_checksum != sequential.param_checksum:
             raise AssertionError(

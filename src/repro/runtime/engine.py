@@ -22,8 +22,7 @@ import json
 import math
 import os
 import time
-import warnings
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -48,6 +47,12 @@ from .stats import IterationTraffic, TrafficMeter
 
 #: loss_fn(model, *batch) -> scalar Tensor
 LossFn = Callable[..., "object"]
+
+#: Version stamped into ``TrainingConfig.to_dict()`` output.  Bump it
+#: when a field changes meaning (not when fields are merely added —
+#: unknown-key rejection already catches those); loading a *newer*
+#: version warns but proceeds, so configs stay forward-portable.
+CONFIG_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -120,6 +125,7 @@ class TrainingConfig:
     def to_dict(self) -> Dict:
         """Plain-dict form, suitable for ``json.dump``."""
         data = dict(self.__dict__)
+        data["schema_version"] = CONFIG_SCHEMA_VERSION
         if self.fault_plan is not None:
             data["fault_plan"] = self.fault_plan.to_dict()
         return data
@@ -130,8 +136,25 @@ class TrainingConfig:
 
         Unknown keys fail loudly with close-match suggestions, so a typo
         like ``compression_ration`` points at ``compression_ratio``
-        instead of silently training with defaults.
+        instead of silently training with defaults.  A ``schema_version``
+        newer than :data:`CONFIG_SCHEMA_VERSION` warns and proceeds
+        best-effort (forward compatibility); same-or-older loads
+        silently.
         """
+        data = dict(data)
+        version = data.pop("schema_version", CONFIG_SCHEMA_VERSION)
+        if not isinstance(version, int) or isinstance(version, bool) \
+                or version < 1:
+            raise TrainingError(
+                f"config schema_version must be a positive integer, "
+                f"got {version!r}")
+        if version > CONFIG_SCHEMA_VERSION:
+            import warnings
+            warnings.warn(
+                f"config has schema_version {version}, newer than this "
+                f"build's {CONFIG_SCHEMA_VERSION}; loading best-effort "
+                "— unknown fields will be rejected, changed semantics "
+                "will not be detected", FutureWarning, stacklevel=2)
         known = {field.name for field in fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -160,23 +183,33 @@ class TrainingConfig:
             json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
 
 
+#: create_engine mode string per engine class, for migration hints.
+_ENGINE_MODES_BY_CLASS = {
+    "BaselineOffloadEngine": "baseline",
+    "HostOffloadEngine": "host_offload",
+    "SmartInfinityEngine": "smart",
+}
+
+
 def fold_deprecated_kwarg(config: TrainingConfig, kwarg: str, value,
                           field_name: str, engine: str) -> TrainingConfig:
-    """Fold an old constructor kwarg into the config, with a warning.
+    """Reject a removed constructor kwarg with a migration hint.
 
     The engines' fleet-geometry kwargs (``num_ssds``, ``num_csds``,
     ``host_memory_bytes``) moved into :class:`TrainingConfig` so the
     :func:`repro.api.create_engine` factory can build any engine from a
-    mode string plus one config object.  The old signatures keep working
-    through this shim.
+    mode string plus one config object.  The old signatures went through
+    a DeprecationWarning cycle and are now hard errors: the message
+    names the exact ``create_engine`` call to write instead.
     """
     if value is None:
         return config
-    warnings.warn(
-        f"{engine}({kwarg}=...) is deprecated; set "
-        f"TrainingConfig.{field_name} and use repro.api.create_engine",
-        DeprecationWarning, stacklevel=3)
-    return replace(config, **{field_name: value})
+    mode = _ENGINE_MODES_BY_CLASS.get(engine, "<mode>")
+    raise TrainingError(
+        f"{engine}({kwarg}=...) was removed; set "
+        f"TrainingConfig(..., {field_name}={value!r}) and build the "
+        f"engine via repro.api.create_engine({mode!r}, model, loss_fn, "
+        f"storage_dir, config=config)")
 
 
 def make_fault_injector(config: TrainingConfig) -> Optional["FaultInjector"]:

@@ -1,0 +1,36 @@
+"""Declarative chaos + workload campaigns (``python -m repro scenario``).
+
+A :class:`Scenario` names a sequence of phases — setup, anomaly,
+detection, recovery, free-form workload — declared in JSON; the
+:class:`ScenarioRunner` executes it deterministically against any
+engine mode and parallel backend, evaluates per-phase expectations
+(fault counters, alerts, flight dumps, bit-identity against a no-fault
+reference), and emits a seeded ``smart-infinity/scenario/v1`` event log
+(same seed, byte-identical log).  Bundled campaigns live under
+``examples/scenarios/``.
+"""
+
+from .spec import (Expectations, PHASE_KINDS, PhaseSpec, SCENARIO_SCHEMA,
+                   SCENARIO_SCHEMA_VERSION, Scenario, WorkloadSpec,
+                   load_scenario)
+from .runner import (CampaignReport, CheckResult, EVENT_SCHEMA,
+                     PhaseReport, SCENARIO_SLO_RULES, ScenarioReport,
+                     ScenarioRunner)
+
+__all__ = [
+    "CampaignReport",
+    "CheckResult",
+    "EVENT_SCHEMA",
+    "Expectations",
+    "PHASE_KINDS",
+    "PhaseReport",
+    "PhaseSpec",
+    "SCENARIO_SCHEMA",
+    "SCENARIO_SCHEMA_VERSION",
+    "SCENARIO_SLO_RULES",
+    "Scenario",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "WorkloadSpec",
+    "load_scenario",
+]

@@ -301,3 +301,121 @@ def test_bench_report_embeds_health_and_no_flight_flag(tmp_path, capsys):
         report = json.load(handle)
     assert report["flight_recorder"] is False
     assert report["runs"][0]["health"]["flight"] is None
+
+
+# ----------------------------------------------------------------------
+# shared flag vocabulary + the scenario subcommand
+# ----------------------------------------------------------------------
+ENGINE_SUBCOMMANDS = ("top", "health", "trace", "bench", "scenario")
+SHARED_FLAGS = ("--backend", "--workers", "--fault-plan",
+                "--chaos-seed", "--slo")
+
+
+def test_engine_subcommands_share_identical_flags():
+    from repro.cli import _build_parser
+
+    subparsers = next(
+        action for action in _build_parser()._actions
+        if getattr(action, "choices", None)
+        and "simulate" in action.choices)
+    reference = {}
+    for command in ENGINE_SUBCOMMANDS:
+        options = {}
+        for action in subparsers.choices[command]._actions:
+            for flag in action.option_strings:
+                options[flag] = (action.help, action.default)
+        for flag in SHARED_FLAGS:
+            assert flag in options, f"{command} is missing {flag}"
+            reference.setdefault(flag, options[flag])
+            assert options[flag] == reference[flag], (
+                f"{command} {flag} diverges from the shared definition")
+        # --backend default None so handlers can tell set from unset.
+        assert options["--backend"][1] is None
+
+
+def test_top_notes_ignored_engine_flags(capsys):
+    assert main(["top", "--once", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--backend", "process", "--chaos-seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "simulation-only" in out
+    assert "--backend" in out and "--chaos-seed" in out
+
+
+def _tiny_scenario_doc(name="tiny", **extra):
+    doc = {
+        "schema": "smart-infinity/scenario/v1",
+        "name": name,
+        "config": {"optimizer": "adam",
+                   "optimizer_kwargs": {"lr": 0.01},
+                   "subgroup_elements": 4096, "num_csds": 2},
+        "workload": {"dim": 16, "num_layers": 1, "vocab_size": 32,
+                     "seq_len": 8, "batch": 2, "num_heads": 2},
+        "phases": [{"name": "p", "steps": 1,
+                    "expect": {"loss_finite": True}}],
+    }
+    doc.update(extra)
+    return doc
+
+
+def _write_scenario(tmp_path, doc):
+    import json
+    path = tmp_path / f"{doc['name']}.json"
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_scenario_list_tabulates_files(tmp_path, capsys):
+    path = _write_scenario(tmp_path, _tiny_scenario_doc(
+        description="one tiny phase"))
+    assert main(["scenario", "list", path]) == 0
+    out = capsys.readouterr().out
+    assert "tiny" in out
+    assert "one tiny phase" in out
+
+
+def test_scenario_run_reports_phases_and_writes_log(tmp_path, capsys):
+    path = _write_scenario(tmp_path, _tiny_scenario_doc())
+    log = str(tmp_path / "events.jsonl")
+    assert main(["scenario", "run", path, "--log", log]) == 0
+    out = capsys.readouterr().out
+    assert "scenario tiny" in out and "PASS" in out
+    assert "[ok] p" in out
+    import json
+    with open(log) as handle:
+        events = [json.loads(line) for line in handle]
+    assert events[0]["event"] == "scenario_begin"
+    assert events[0]["schema"] == "smart-infinity/scenario/v1"
+
+
+def test_scenario_run_failure_exits_nonzero(tmp_path, capsys):
+    doc = _tiny_scenario_doc(name="failing")
+    doc["phases"][0]["expect"] = {"min_injected": 99}
+    path = _write_scenario(tmp_path, doc)
+    assert main(["scenario", "run", path]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    assert "failed min_injected" in out
+
+
+def test_scenario_replay_detects_identity_and_divergence(tmp_path,
+                                                         capsys):
+    path = _write_scenario(tmp_path, _tiny_scenario_doc())
+    log = str(tmp_path / "events.jsonl")
+    assert main(["scenario", "run", path, "--log", log]) == 0
+    capsys.readouterr()
+    assert main(["scenario", "replay", path, "--log", log]) == 0
+    assert "byte-identical" in capsys.readouterr().out
+    # A different seed must diverge.
+    assert main(["scenario", "replay", path, "--log", log,
+                 "--chaos-seed", "5"]) == 1
+    assert "DIVERGED" in capsys.readouterr().out
+
+
+def test_scenario_rejects_malformed_input(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["scenario", "run", str(bad)]) == 2
+    assert "cannot load scenario" in capsys.readouterr().out
+    assert main(["scenario", "replay", str(bad)]) == 2
+    capsys.readouterr()
+    assert main(["scenario", "run", str(tmp_path / "missing-dir")]) == 2

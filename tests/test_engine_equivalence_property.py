@@ -7,6 +7,8 @@ sweeps the space; every draw trains one step through the host-memory,
 storage-baseline and Smart-Infinity engines and demands bitwise equality.
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -55,15 +57,15 @@ def test_engine_family_bitwise_identical(tmp_path_factory, dim,
     results["host"] = host.space.gather_params()
 
     base = BaselineOffloadEngine(make_model(), loss_fn,
-                                 str(workdir / "base"), num_ssds=1,
-                                 config=config)
+                                 str(workdir / "base"), config=config)
     base.train_step(tokens, labels)
     results["base"] = base.space.gather_params()
     base.close()
 
     smart = SmartInfinityEngine(make_model(), loss_fn,
                                 str(workdir / "smart"),
-                                num_csds=num_csds, config=config)
+                                config=replace(config,
+                                               num_csds=num_csds))
     smart.train_step(tokens, labels)
     results["smart"] = smart.space.gather_params()
     smart.close()
@@ -111,10 +113,9 @@ def test_parallel_execution_bitwise_identical(tmp_path_factory, num_csds,
             optimizer=optimizer, optimizer_kwargs={"lr": 1e-2},
             subgroup_elements=subgroup, compression_ratio=ratio,
             error_feedback=ratio is not None, parallel_csds=workers,
-            parallel_backend=run_backend)
+            parallel_backend=run_backend, num_csds=num_csds)
         engine = SmartInfinityEngine(make_model(), loss_fn,
-                                     str(workdir / tag),
-                                     num_csds=num_csds, config=config)
+                                     str(workdir / tag), config=config)
         for _ in range(2):
             engine.train_step(tokens, labels)
         params = engine.space.gather_params()

@@ -24,9 +24,9 @@ from repro.errors import (DeviceFailedError, FaultInjectionError,
 from repro.faults import FaultInjector, FaultPlan, FaultRule, RetryPolicy
 from repro.nn import SequenceClassifier, bert_config, \
     make_classification_dataset
-from repro.runtime import (BaselineOffloadEngine, SmartInfinityEngine,
-                           TrainingConfig, load_checkpoint,
-                           save_checkpoint)
+from repro.runtime import (BaselineOffloadEngine, HostOffloadEngine,
+                           SmartInfinityEngine, TrainingConfig,
+                           load_checkpoint, save_checkpoint)
 from repro.storage.blockdev import FileBlockDevice
 from repro.storage.raid0 import RAID0Volume
 
@@ -327,7 +327,7 @@ def test_checkpoint_round_trip_after_demotion(tmp_path, dataset):
 # ----------------------------------------------------------------------
 # create_engine
 # ----------------------------------------------------------------------
-def test_create_engine_matches_deprecated_constructors(tmp_path, dataset):
+def test_create_engine_matches_direct_construction(tmp_path, dataset):
     factory = create_engine("smart", make_model(), loss_fn,
                             str(tmp_path / "factory"),
                             config=config(num_csds=3))
@@ -335,16 +335,32 @@ def test_create_engine_matches_deprecated_constructors(tmp_path, dataset):
     factory_params = factory.space.gather_params()
     factory.close()
 
-    with pytest.warns(DeprecationWarning, match="num_csds"):
-        legacy = SmartInfinityEngine(make_model(), loss_fn,
-                                     str(tmp_path / "legacy"),
-                                     num_csds=3, config=config())
-    legacy_losses = train(legacy, dataset)
-    legacy_params = legacy.space.gather_params()
-    legacy.close()
+    direct = SmartInfinityEngine(make_model(), loss_fn,
+                                 str(tmp_path / "direct"),
+                                 config=config(num_csds=3))
+    direct_losses = train(direct, dataset)
+    direct_params = direct.space.gather_params()
+    direct.close()
 
-    assert factory_losses == legacy_losses
-    np.testing.assert_array_equal(factory_params, legacy_params)
+    assert factory_losses == direct_losses
+    np.testing.assert_array_equal(factory_params, direct_params)
+
+
+def test_removed_ctor_kwargs_raise_with_migration_hint(tmp_path):
+    """The PR-3 deprecation shims completed their cycle: the old
+    fleet-geometry kwargs are hard errors naming the create_engine
+    equivalent."""
+    with pytest.raises(TrainingError, match="create_engine..smart"):
+        SmartInfinityEngine(make_model(), loss_fn,
+                            str(tmp_path / "legacy"),
+                            num_csds=3, config=config())
+    with pytest.raises(TrainingError, match="raid_members=2"):
+        BaselineOffloadEngine(make_model(), loss_fn,
+                              str(tmp_path / "legacy-b"),
+                              num_ssds=2, config=config())
+    with pytest.raises(TrainingError, match="host_offload"):
+        HostOffloadEngine(make_model(), loss_fn,
+                          host_memory_bytes=1 << 30)
 
 
 def test_create_engine_builds_every_mode(tmp_path):

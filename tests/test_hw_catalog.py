@@ -91,9 +91,10 @@ def test_config_from_file_drives_engine(tmp_path):
                     max_seq_len=16), num_classes=3, seed=0)
     data = make_classification_dataset(num_train=8, seq_len=16,
                                        vocab_size=32, seed=0)
+    from dataclasses import replace
     engine = SmartInfinityEngine(model, lambda m, t, l: m.loss(t, l),
-                                 str(tmp_path / "work"), num_csds=2,
-                                 config=config)
+                                 str(tmp_path / "work"),
+                                 config=replace(config, num_csds=2))
     result = engine.train_step(data.train_tokens[:4],
                                data.train_labels[:4])
     assert np.isfinite(result.loss)

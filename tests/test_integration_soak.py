@@ -37,18 +37,18 @@ def data():
                            vocab_size=VOCAB, seed=2)
 
 
-def full_stack_config():
+def full_stack_config(**overrides):
     return TrainingConfig(optimizer="adamw",
                           optimizer_kwargs={"lr": 5e-3,
                                             "weight_decay": 0.01},
                           subgroup_elements=4096,
-                          compression_ratio=0.2)
+                          compression_ratio=0.2, **overrides)
 
 
 def test_full_stack_run_converges_and_resumes(tmp_path, data):
     engine = SmartInfinityEngine(make_model(), loss_fn,
-                                 str(tmp_path / "run"), num_csds=3,
-                                 config=full_stack_config())
+                                 str(tmp_path / "run"),
+                                 config=full_stack_config(num_csds=3))
     engine.set_lr_schedule(linear_warmup_decay(base_lr=5e-3,
                                                warmup_steps=3,
                                                total_steps=STEPS))
@@ -77,8 +77,8 @@ def test_full_stack_run_converges_and_resumes(tmp_path, data):
     # compression — note error-feedback residuals are per-shard, so we
     # resume with the same shard count to keep identity).
     resumed = SmartInfinityEngine(make_model(seed=99), loss_fn,
-                                  str(tmp_path / "resume"), num_csds=3,
-                                  config=full_stack_config())
+                                  str(tmp_path / "resume"),
+                                  config=full_stack_config(num_csds=3))
     resumed.set_lr_schedule(linear_warmup_decay(base_lr=5e-3,
                                                 warmup_steps=3,
                                                 total_steps=STEPS))
@@ -100,7 +100,7 @@ def test_full_stack_run_converges_and_resumes(tmp_path, data):
 
 def test_engine_rejects_use_after_close(tmp_path, data):
     engine = BaselineOffloadEngine(make_model(), loss_fn,
-                                   str(tmp_path / "c"), num_ssds=1,
+                                   str(tmp_path / "c"),
                                    config=full_stack_config())
     engine.close()
     from repro.errors import StorageError

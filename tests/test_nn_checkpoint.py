@@ -153,7 +153,7 @@ def test_checkpointed_training_through_smart_engine(tmp_path, rng):
                                           vocab_size=32, seed=1)
     config = TrainingConfig(optimizer="adam",
                             optimizer_kwargs={"lr": 1e-2},
-                            subgroup_elements=4096)
+                            subgroup_elements=4096, num_csds=2)
 
     def full_loss(model, tokens, labels):
         return model.loss(tokens, labels)
@@ -164,7 +164,7 @@ def test_checkpointed_training_through_smart_engine(tmp_path, rng):
     losses = {}
     for name, loss_fn in (("full", full_loss), ("ckpt", ckpt_loss)):
         engine = SmartInfinityEngine(make_classifier(), loss_fn,
-                                     str(tmp_path / name), num_csds=2,
+                                     str(tmp_path / name),
                                      config=config)
         losses[name] = [
             engine.train_step(dataset.train_tokens[i:i + 4],

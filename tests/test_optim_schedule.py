@@ -76,9 +76,9 @@ def _model(seed=7):
                     max_seq_len=16), num_classes=3, seed=seed)
 
 
-def _config():
+def _config(**overrides):
     return TrainingConfig(optimizer="adam", optimizer_kwargs={"lr": 1e-2},
-                          subgroup_elements=4096)
+                          subgroup_elements=4096, **overrides)
 
 
 @pytest.fixture(scope="module")
@@ -111,7 +111,7 @@ def test_scheduled_runs_stay_bit_identical(tmp_path, dataset):
 
     host = HostOffloadEngine(_model(), _loss_fn, config=_config())
     smart = SmartInfinityEngine(_model(), _loss_fn, str(tmp_path / "s"),
-                                num_csds=2, config=_config())
+                                config=_config(num_csds=2))
     assert scheduled(host) == scheduled(smart)
     smart.close()
 
@@ -139,7 +139,7 @@ def test_accumulated_step_matches_large_batch(dataset):
 
 def test_accumulated_step_counts_once(tmp_path, dataset):
     engine = SmartInfinityEngine(_model(), _loss_fn, str(tmp_path / "a"),
-                                 num_csds=2, config=_config())
+                                 config=_config(num_csds=2))
     tokens, labels = dataset.train_tokens[:8], dataset.train_labels[:8]
     result = engine.train_step_accumulated([
         (tokens[:4], labels[:4]), (tokens[4:], labels[4:])])

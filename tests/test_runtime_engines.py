@@ -62,12 +62,11 @@ def test_smartupdate_bitwise_identical_to_baseline(tmp_path, dataset):
     runs = {}
     engines = {
         "baseline": lambda d: BaselineOffloadEngine(
-            make_model(), loss_fn, d, num_ssds=2, config=config()),
+            make_model(), loss_fn, d, config=config(raid_members=2)),
         "su_handler": lambda d: SmartInfinityEngine(
-            make_model(), loss_fn, d, num_csds=3, config=config()),
+            make_model(), loss_fn, d, config=config(num_csds=3)),
         "su_naive": lambda d: SmartInfinityEngine(
-            make_model(), loss_fn, d, num_csds=3,
-            config=config(use_transfer_handler=False)),
+            make_model(), loss_fn, d, config=config(num_csds=3, use_transfer_handler=False)),
     }
     for name, factory in engines.items():
         engine = factory(str(tmp_path / name))
@@ -83,13 +82,12 @@ def test_smartupdate_bitwise_identical_to_baseline(tmp_path, dataset):
 
 
 def test_bit_identity_holds_for_sgd(tmp_path, dataset):
-    cfg = config(optimizer="sgd", optimizer_kwargs={"lr": 0.05})
+    cfg = config(optimizer="sgd", optimizer_kwargs={"lr": 0.05},
+                 raid_members=1, num_csds=2)
     base = BaselineOffloadEngine(make_model(), loss_fn,
-                                 str(tmp_path / "b"), num_ssds=1,
-                                 config=cfg)
+                                 str(tmp_path / "b"), config=cfg)
     smart = SmartInfinityEngine(make_model(), loss_fn,
-                                str(tmp_path / "s"), num_csds=2,
-                                config=cfg)
+                                str(tmp_path / "s"), config=cfg)
     base_losses = train(base, dataset, epochs=1)
     smart_losses = train(smart, dataset, epochs=1)
     assert base_losses == smart_losses
@@ -104,7 +102,7 @@ def test_identity_independent_of_csd_count(tmp_path, dataset):
     for count in (1, 2, 5):
         engine = SmartInfinityEngine(make_model(), loss_fn,
                                      str(tmp_path / f"n{count}"),
-                                     num_csds=count, config=config())
+                                     config=config(num_csds=count))
         train(engine, dataset, epochs=1)
         finals.append(engine.space.gather_params())
         engine.close()
@@ -117,8 +115,7 @@ def test_identity_independent_of_csd_count(tmp_path, dataset):
 # ----------------------------------------------------------------------
 def test_baseline_traffic_matches_table1(tmp_path, dataset):
     engine = BaselineOffloadEngine(make_model(), loss_fn,
-                                   str(tmp_path / "b"), num_ssds=2,
-                                   config=config())
+                                   str(tmp_path / "b"), config=config(raid_members=2))
     result = engine.train_step(dataset.train_tokens[:4],
                                dataset.train_labels[:4])
     expected = expected_traffic(engine.num_params, "baseline")
@@ -129,8 +126,7 @@ def test_baseline_traffic_matches_table1(tmp_path, dataset):
 
 def test_smartupdate_traffic_matches_table1(tmp_path, dataset):
     engine = SmartInfinityEngine(make_model(), loss_fn,
-                                 str(tmp_path / "s"), num_csds=3,
-                                 config=config())
+                                 str(tmp_path / "s"), config=config(num_csds=3))
     result = engine.train_step(dataset.train_tokens[:4],
                                dataset.train_labels[:4])
     expected = expected_traffic(engine.num_params, "smartupdate")
@@ -152,8 +148,7 @@ def test_smartupdate_reduces_host_traffic_4x_for_adam(tmp_path, dataset):
 def test_smartcomp_traffic_matches_table1(tmp_path, dataset):
     ratio = 0.02
     engine = SmartInfinityEngine(make_model(), loss_fn,
-                                 str(tmp_path / "c"), num_csds=3,
-                                 config=config(compression_ratio=ratio))
+                                 str(tmp_path / "c"), config=config(num_csds=3, compression_ratio=ratio))
     result = engine.train_step(dataset.train_tokens[:4],
                                dataset.train_labels[:4])
     shard_sizes = [s.count for s in
@@ -169,8 +164,7 @@ def test_smartcomp_traffic_matches_table1(tmp_path, dataset):
 def test_sgd_traffic_uses_4m_states(tmp_path, dataset):
     cfg = config(optimizer="sgd", optimizer_kwargs={"lr": 0.05})
     engine = BaselineOffloadEngine(make_model(), loss_fn,
-                                   str(tmp_path / "sg"), num_ssds=1,
-                                   config=cfg)
+                                   str(tmp_path / "sg"), config=cfg)
     result = engine.train_step(dataset.train_tokens[:4],
                                dataset.train_labels[:4])
     expected = expected_traffic(engine.num_params, "baseline",
@@ -182,8 +176,7 @@ def test_sgd_traffic_uses_4m_states(tmp_path, dataset):
 
 def test_traffic_metered_per_iteration(tmp_path, dataset):
     engine = SmartInfinityEngine(make_model(), loss_fn,
-                                 str(tmp_path / "m"), num_csds=2,
-                                 config=config())
+                                 str(tmp_path / "m"), config=config(num_csds=2))
     engine.train_step(dataset.train_tokens[:4], dataset.train_labels[:4])
     engine.train_step(dataset.train_tokens[:4], dataset.train_labels[:4])
     assert len(engine.meter.iterations) == 2
@@ -198,12 +191,11 @@ def test_traffic_metered_per_iteration(tmp_path, dataset):
 def test_all_engines_learn_the_task(tmp_path, dataset):
     for name, factory in {
         "baseline": lambda d: BaselineOffloadEngine(
-            make_model(), loss_fn, d, num_ssds=1, config=config()),
+            make_model(), loss_fn, d, config=config(raid_members=1)),
         "smart": lambda d: SmartInfinityEngine(
-            make_model(), loss_fn, d, num_csds=2, config=config()),
+            make_model(), loss_fn, d, config=config(num_csds=2)),
         "smartcomp": lambda d: SmartInfinityEngine(
-            make_model(), loss_fn, d, num_csds=2,
-            config=config(compression_ratio=0.3)),
+            make_model(), loss_fn, d, config=config(num_csds=2, compression_ratio=0.3)),
     }.items():
         engine = factory(str(tmp_path / name))
         losses = train(engine, dataset, epochs=4)
@@ -214,10 +206,9 @@ def test_all_engines_learn_the_task(tmp_path, dataset):
 
 
 def test_overflow_skips_update_and_halves_scale(tmp_path, dataset):
-    cfg = config(initial_loss_scale=2.0 ** 126)
+    cfg = config(initial_loss_scale=2.0 ** 126, num_csds=2)
     engine = SmartInfinityEngine(make_model(), loss_fn,
-                                 str(tmp_path / "ov"), num_csds=2,
-                                 config=cfg)
+                                 str(tmp_path / "ov"), config=cfg)
     before = engine.space.gather_params().copy()
     result = engine.train_step(dataset.train_tokens[:4],
                                dataset.train_labels[:4])
@@ -240,8 +231,7 @@ def test_overflow_skips_update_and_halves_scale(tmp_path, dataset):
 def test_gradient_clipping_bounds_reported_norm(tmp_path, dataset):
     cfg = config()
     engine = BaselineOffloadEngine(make_model(), loss_fn,
-                                   str(tmp_path / "clip"), num_ssds=1,
-                                   config=cfg)
+                                   str(tmp_path / "clip"), config=cfg)
     result = engine.train_step(dataset.train_tokens[:8],
                                dataset.train_labels[:8])
     assert result.grad_norm > 0
@@ -250,8 +240,7 @@ def test_gradient_clipping_bounds_reported_norm(tmp_path, dataset):
 
 def test_working_params_are_fp16_quantized(tmp_path, dataset):
     engine = SmartInfinityEngine(make_model(), loss_fn,
-                                 str(tmp_path / "fp16"), num_csds=2,
-                                 config=config())
+                                 str(tmp_path / "fp16"), config=config(num_csds=2))
     engine.train_step(dataset.train_tokens[:4], dataset.train_labels[:4])
     working = engine.space.gather_params()
     # Every working value must be exactly representable in fp16.
@@ -269,10 +258,10 @@ def test_working_params_are_fp16_quantized(tmp_path, dataset):
 def test_engine_rejects_zero_devices(tmp_path):
     with pytest.raises(TrainingError):
         SmartInfinityEngine(make_model(), loss_fn, str(tmp_path / "z"),
-                            num_csds=0)
+                            config=config(num_csds=0))
     with pytest.raises(TrainingError):
         BaselineOffloadEngine(make_model(), loss_fn, str(tmp_path / "z2"),
-                              num_ssds=0)
+                              config=config(raid_members=0))
 
 
 def test_error_feedback_changes_compressed_training(tmp_path, dataset):
@@ -282,8 +271,7 @@ def test_error_feedback_changes_compressed_training(tmp_path, dataset):
     for flag in (True, False):
         engine = SmartInfinityEngine(
             make_model(), loss_fn, str(tmp_path / f"ef{flag}"),
-            num_csds=2,
-            config=config(compression_ratio=0.1, error_feedback=flag))
+            config=config(num_csds=2, compression_ratio=0.1, error_feedback=flag))
         train(engine, dataset, epochs=1)
         final[flag] = engine.space.gather_params()
         engine.close()
@@ -297,7 +285,7 @@ def test_traffic_invariant_to_subgroup_size(tmp_path, dataset):
     for size in (1024, 4096, 100_000):
         engine = SmartInfinityEngine(
             make_model(), loss_fn, str(tmp_path / f"sg{size}"),
-            num_csds=2, config=config(subgroup_elements=size))
+            config=config(num_csds=2, subgroup_elements=size))
         result = engine.train_step(dataset.train_tokens[:4],
                                    dataset.train_labels[:4])
         totals[size] = (result.traffic.host_reads,

@@ -53,11 +53,9 @@ def steps(engine, dataset, count=4, seed=0):
 def test_host_offload_bit_identical_to_storage_engines(tmp_path, dataset):
     host = HostOffloadEngine(make_model(), loss_fn, config=config())
     smart = SmartInfinityEngine(make_model(), loss_fn,
-                                str(tmp_path / "s"), num_csds=2,
-                                config=config())
+                                str(tmp_path / "s"), config=config(num_csds=2))
     base = BaselineOffloadEngine(make_model(), loss_fn,
-                                 str(tmp_path / "b"), num_ssds=1,
-                                 config=config())
+                                 str(tmp_path / "b"), config=config(raid_members=1))
     host_losses = steps(host, dataset)
     smart_losses = steps(smart, dataset)
     base_losses = steps(base, dataset)
@@ -77,8 +75,8 @@ def test_host_offload_has_zero_storage_traffic(dataset):
 def test_host_offload_capacity_wall():
     """The memory wall that motivates storage offloading (§II)."""
     with pytest.raises(TrainingError, match="wall"):
-        HostOffloadEngine(make_model(), loss_fn, config=config(),
-                          host_memory_bytes=1024)
+        HostOffloadEngine(make_model(), loss_fn,
+                          config=config(host_memory_bytes=1024))
 
 
 def test_host_offload_state_arrays_exposed(dataset):
@@ -94,8 +92,7 @@ def test_host_offload_state_arrays_exposed(dataset):
 # ----------------------------------------------------------------------
 def test_checkpoint_resume_is_bit_identical(tmp_path, dataset):
     engine = SmartInfinityEngine(make_model(), loss_fn,
-                                 str(tmp_path / "a"), num_csds=2,
-                                 config=config())
+                                 str(tmp_path / "a"), config=config(num_csds=2))
     steps(engine, dataset, count=3, seed=0)
     ckpt = str(tmp_path / "ck.npz")
     save_checkpoint(engine, ckpt)
@@ -103,8 +100,7 @@ def test_checkpoint_resume_is_bit_identical(tmp_path, dataset):
     engine.close()
 
     resumed = SmartInfinityEngine(make_model(seed=99), loss_fn,
-                                  str(tmp_path / "r"), num_csds=3,
-                                  config=config())
+                                  str(tmp_path / "r"), config=config(num_csds=3))
     load_checkpoint(resumed, ckpt)
     replayed = steps(resumed, dataset, count=3, seed=1)
     assert replayed == continued
@@ -114,8 +110,7 @@ def test_checkpoint_resume_is_bit_identical(tmp_path, dataset):
 def test_checkpoint_cross_engine(tmp_path, dataset):
     """A baseline checkpoint restores into Smart-Infinity and vice versa."""
     base = BaselineOffloadEngine(make_model(), loss_fn,
-                                 str(tmp_path / "b"), num_ssds=1,
-                                 config=config())
+                                 str(tmp_path / "b"), config=config(raid_members=1))
     steps(base, dataset, count=2, seed=0)
     ckpt = str(tmp_path / "cross.npz")
     save_checkpoint(base, ckpt)
@@ -173,11 +168,9 @@ def quantized_config(**kwargs):
 
 def test_quantized_upstream_cuts_host_reads_4x(tmp_path, dataset):
     plain = SmartInfinityEngine(make_model(), loss_fn,
-                                str(tmp_path / "p"), num_csds=2,
-                                config=config())
+                                str(tmp_path / "p"), config=config(num_csds=2))
     quant = SmartInfinityEngine(make_model(), loss_fn,
-                                str(tmp_path / "q"), num_csds=2,
-                                config=quantized_config())
+                                str(tmp_path / "q"), config=quantized_config(num_csds=2))
     r_plain = plain.train_step(dataset.train_tokens[:4],
                                dataset.train_labels[:4])
     r_quant = quant.train_step(dataset.train_tokens[:4],
@@ -192,8 +185,7 @@ def test_quantized_upstream_cuts_host_reads_4x(tmp_path, dataset):
 def test_quantized_upstream_working_copy_close_to_masters(tmp_path,
                                                           dataset):
     engine = SmartInfinityEngine(make_model(), loss_fn,
-                                 str(tmp_path / "qa"), num_csds=2,
-                                 config=quantized_config())
+                                 str(tmp_path / "qa"), config=quantized_config(num_csds=2))
     steps(engine, dataset, count=2)
     working = engine.space.gather_params()
     masters = np.concatenate([
@@ -207,8 +199,7 @@ def test_quantized_upstream_working_copy_close_to_masters(tmp_path,
 
 def test_quantized_upstream_still_learns(tmp_path, dataset):
     engine = SmartInfinityEngine(make_model(), loss_fn,
-                                 str(tmp_path / "ql"), num_csds=2,
-                                 config=quantized_config())
+                                 str(tmp_path / "ql"), config=quantized_config(num_csds=2))
     losses = []
     for epoch in range(4):
         losses += steps(engine, dataset, count=4, seed=epoch)
@@ -221,8 +212,7 @@ def test_quantized_upstream_still_learns(tmp_path, dataset):
 # ----------------------------------------------------------------------
 def test_pruning_mask_enforced_on_working_copy(tmp_path, dataset):
     engine = SmartInfinityEngine(make_model(), loss_fn,
-                                 str(tmp_path / "pr"), num_csds=2,
-                                 config=config(pruning_sparsity=0.5))
+                                 str(tmp_path / "pr"), config=config(num_csds=2, pruning_sparsity=0.5))
     steps(engine, dataset, count=3)
     working = engine.space.gather_params()
     assert (working[~engine.pruning_mask.keep] == 0).all()
@@ -232,8 +222,7 @@ def test_pruning_mask_enforced_on_working_copy(tmp_path, dataset):
 
 def test_pruned_model_still_learns(tmp_path, dataset):
     engine = SmartInfinityEngine(make_model(), loss_fn,
-                                 str(tmp_path / "pl"), num_csds=2,
-                                 config=config(pruning_sparsity=0.3))
+                                 str(tmp_path / "pl"), config=config(num_csds=2, pruning_sparsity=0.3))
     losses = []
     for epoch in range(4):
         losses += steps(engine, dataset, count=4, seed=epoch)

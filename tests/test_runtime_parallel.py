@@ -190,10 +190,11 @@ def _train(tmp_path, tag, num_csds, workers, ratio, steps=2):
     config = TrainingConfig(
         optimizer="adam", optimizer_kwargs={"lr": 1e-2},
         subgroup_elements=512, compression_ratio=ratio,
-        error_feedback=ratio is not None, parallel_csds=workers)
+        error_feedback=ratio is not None, parallel_csds=workers,
+        num_csds=num_csds)
     tokens, labels = make_batch()
     with SmartInfinityEngine(make_model(), loss_fn,
-                             str(tmp_path / tag), num_csds=num_csds,
+                             str(tmp_path / tag),
                              config=config) as engine:
         assert engine.workers == workers
         for _ in range(steps):
@@ -238,10 +239,10 @@ def test_config_default_is_auto():
 
 
 def test_engine_rejects_negative_workers(tmp_path):
-    config = TrainingConfig(parallel_csds=-2)
+    config = TrainingConfig(parallel_csds=-2, num_csds=2)
     with pytest.raises(TrainingError):
         SmartInfinityEngine(make_model(), loss_fn, str(tmp_path),
-                            num_csds=2, config=config)
+                            config=config)
 
 
 # ----------------------------------------------------------------------
@@ -263,10 +264,10 @@ def test_smartcomp_stream_read_once_per_pass(tmp_path):
     config = TrainingConfig(
         optimizer="adam", optimizer_kwargs={"lr": 1e-2},
         subgroup_elements=512, compression_ratio=ratio,
-        error_feedback=False, parallel_csds=1)
+        error_feedback=False, parallel_csds=1, num_csds=num_csds)
     tokens, labels = make_batch()
     with SmartInfinityEngine(make_model(), loss_fn,
-                             str(tmp_path / "cache"), num_csds=num_csds,
+                             str(tmp_path / "cache"),
                              config=config) as engine:
         engine.train_step(tokens, labels)
         traffic = engine.meter.iterations[-1]
@@ -292,11 +293,11 @@ def test_smartcomp_stream_read_once_per_pass(tmp_path):
 # ----------------------------------------------------------------------
 def test_update_spans_carry_distinct_worker_threads(tmp_path):
     config = TrainingConfig(optimizer="adam", subgroup_elements=512,
-                            parallel_csds=4)
+                            parallel_csds=4, num_csds=4)
     tokens, labels = make_batch()
     with telemetry.session() as active:
         with SmartInfinityEngine(make_model(), loss_fn,
-                                 str(tmp_path / "spans"), num_csds=4,
+                                 str(tmp_path / "spans"),
                                  config=config) as engine:
             engine.train_step(tokens, labels)
     spans = active.tracer.by_name("device_update")
@@ -310,11 +311,11 @@ def test_update_spans_carry_distinct_worker_threads(tmp_path):
 
 def test_sequential_update_spans_stay_on_main_thread(tmp_path):
     config = TrainingConfig(optimizer="adam", subgroup_elements=512,
-                            parallel_csds=1)
+                            parallel_csds=1, num_csds=2)
     tokens, labels = make_batch()
     with telemetry.session() as active:
         with SmartInfinityEngine(make_model(), loss_fn,
-                                 str(tmp_path / "spans"), num_csds=2,
+                                 str(tmp_path / "spans"),
                                  config=config) as engine:
             engine.train_step(tokens, labels)
     spans = active.tracer.by_name("device_update")

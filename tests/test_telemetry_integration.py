@@ -36,8 +36,9 @@ def make_model(seed=0, dim=32):
 
 
 def train_once(workdir, config, tokens, labels, enable_telemetry):
+    from dataclasses import replace
     engine = SmartInfinityEngine(make_model(), loss_fn, str(workdir),
-                                 num_csds=2, config=config)
+                                 config=replace(config, num_csds=2))
     try:
         if enable_telemetry:
             with telemetry.session() as session:
@@ -85,10 +86,10 @@ def test_functional_engine_populates_metrics(tmp_path):
     labels = rng.integers(0, 2, size=4)
     config = TrainingConfig(optimizer="adam",
                             optimizer_kwargs={"lr": 1e-2},
-                            subgroup_elements=1024)
+                            subgroup_elements=1024, num_csds=2)
     with telemetry.session() as session:
         with SmartInfinityEngine(make_model(), loss_fn,
-                                 str(tmp_path / "csd"), num_csds=2,
+                                 str(tmp_path / "csd"),
                                  config=config) as engine:
             engine.train_step(tokens, labels)
     snapshot = session.registry.snapshot()
