@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands:
+Eleven subcommands:
 
 * ``list-models`` — print the analytic model zoo (names, sizes, shapes).
 * ``simulate`` — run one DES training-iteration configuration and print
@@ -13,6 +13,15 @@ Ten subcommands:
   simulation or a finished trace file (``--trace``); ``--once`` renders
   a single frame, otherwise it refreshes live.  With nothing to
   attribute it degrades to a "no data yet" notice instead of an error.
+* ``whatif`` — the critical-path observatory's counterfactual engine:
+  reconstruct the per-step dependency DAG of one simulated iteration,
+  print the critical path with slack accounting, and rank what-if
+  projections (``--scale channel=factor``, ``--add-csds``,
+  ``--compression-ratio``) by projected step-time reduction;
+  ``--validate`` re-runs the DES with each channel scaling genuinely
+  applied and fails (exit 1) if the projection error exceeds
+  ``--max-error``; ``--jsonl`` writes the
+  ``smart-infinity/critpath/v1`` event log.
 * ``health`` — the step-health monitor: run a functional-engine probe
   and report per-step signals (steps/s, loss finiteness, retry/arena
   rates, link utilization) as rolling EWMA windows, the SLO alerts that
@@ -45,6 +54,8 @@ Examples::
     python -m repro analyze --model gpt2-8.4b --csds 10 --timeline
     python -m repro top --once --model gpt2-4.0b --csds 10
     python -m repro top --once --trace gpt2-4.0b-su_o_c.trace.json
+    python -m repro whatif --model gpt2-4.0b --csds 10
+    python -m repro whatif --scale host-link-down=0.5 --validate
     python -m repro health --once --steps 5
     python -m repro health --fault-plan examples/chaos.json --chaos-seed 7
     python -m repro sweep devices --model gpt2-4.0b
@@ -62,11 +73,12 @@ Examples::
 Prometheus-style exposition of per-channel counters and gauges; ``top``
 extends it with the attribution series and can also write a structured
 JSONL event log (``--jsonl``).  Every engine-backed subcommand
-(``top``, ``health``, ``trace``, ``bench``, ``scenario``) shares one
-flag vocabulary — ``--backend``, ``--workers``, ``--fault-plan``,
-``--chaos-seed``, ``--slo`` — with identical semantics everywhere
-(``top`` is simulation-only and notes when it ignores the engine-side
-flags).  ``--slo`` takes a JSON rules file (see ``examples/slo.json``);
+(``top``, ``whatif``, ``health``, ``trace``, ``bench``, ``scenario``)
+shares one flag vocabulary — ``--backend``, ``--workers``,
+``--fault-plan``, ``--chaos-seed``, ``--slo`` — with identical
+semantics everywhere (``top`` and ``whatif`` are simulation-only and
+note when they ignore the engine-side flags).  ``python -m repro
+--version`` prints the package version.  ``--slo`` takes a JSON rules file (see ``examples/slo.json``);
 chaos runs of ``trace`` and ``health`` write automatic
 ``smart-infinity/flightrec/v1`` dumps on incidents (``--dump-dir``,
 default ``flightrec/``).
@@ -95,6 +107,7 @@ from .perf.scenarios import (EXTENSION_METHODS, METHODS,
 from .perf.sweeps import render_sweep, sweep_devices, sweep_models, \
     sweep_ratios
 from .perf.workload import make_workload
+from .version import __version__
 
 _GPUS = {"a5000": a5000, "a100": a100_40g, "a4000": a4000}
 
@@ -107,6 +120,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Smart-Infinity (HPCA 2024) reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("list-models",
@@ -165,6 +180,48 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="also print the Prometheus-style exposition "
                           "of the attribution series")
     _add_shared_options(top)
+
+    whatif = commands.add_parser(
+        "whatif", help="critical-path what-if engine: dependency DAG, "
+                       "slack, and ranked counterfactual projections "
+                       "over one simulated iteration")
+    whatif.add_argument("--model", default="gpt2-4.0b")
+    whatif.add_argument("--csds", type=int, default=10)
+    whatif.add_argument("--method", default="su_o_c",
+                        choices=METHODS + EXTENSION_METHODS)
+    whatif.add_argument("--gpu", default="a5000", choices=sorted(_GPUS))
+    whatif.add_argument("--ratio", type=float, default=0.02,
+                        help="SmartComp volume ratio")
+    whatif.add_argument(
+        "--scale", action="append", default=None, metavar="CHANNEL=FACTOR",
+        help="project the named channel's transfers taking FACTOR times "
+             "as long (0.5 = link twice as fast); repeatable, each "
+             "projected independently")
+    whatif.add_argument(
+        "--add-csds", type=int, default=None, metavar="N",
+        help="project N additional CSDs (device-internal work spreads "
+             "over the larger fleet; shared host link unchanged)")
+    whatif.add_argument(
+        "--compression-ratio", type=float, default=None, metavar="R",
+        help="project the SmartComp volume ratio changing from --ratio "
+             "to R (gradient-offload transfers rescale)")
+    whatif.add_argument(
+        "--top", type=int, default=6, metavar="N",
+        help="path resources shown in the critical-path pane "
+             "(default 6)")
+    whatif.add_argument(
+        "--validate", action="store_true",
+        help="re-run the DES with each --scale genuinely applied and "
+             "report the projection error; exits 1 beyond --max-error")
+    whatif.add_argument(
+        "--max-error", type=float, default=0.05, metavar="FRACTION",
+        help="relative projection error --validate tolerates "
+             "(default 0.05 = 5%%)")
+    whatif.add_argument(
+        "--jsonl", default=None, metavar="EVENTS_JSONL",
+        help="write the critical path, projections, and validations as "
+             "a smart-infinity/critpath/v1 JSONL event log")
+    _add_shared_options(whatif)
 
     health = commands.add_parser(
         "health", help="step-health monitor: per-step signals, SLO "
@@ -483,6 +540,97 @@ def _cmd_top(args) -> int:
         print()
         print(registry.render_prometheus(), end="")
     return 0
+
+
+def _cmd_whatif(args) -> int:
+    # whatif, like top, shares the engine flag vocabulary but replays a
+    # simulated iteration, so every engine-side flag is ignorable.
+    ignored = [flag for flag, value in (
+        ("--backend", args.backend), ("--workers", args.workers),
+        ("--fault-plan", args.fault_plan),
+        ("--chaos-seed", args.chaos_seed), ("--slo", args.slo))
+        if value is not None]
+    if ignored:
+        print(f"[whatif is simulation-only; ignoring "
+              f"{', '.join(ignored)} — use health/trace/bench/scenario "
+              "to drive the functional engine]")
+
+    scales = []
+    for item in args.scale or []:
+        channel, sep, factor_text = item.partition("=")
+        try:
+            factor = float(factor_text) if sep and channel else None
+        except ValueError:
+            factor = None
+        if factor is None or factor <= 0:
+            print(f"invalid --scale {item!r}; expected CHANNEL=FACTOR "
+                  "with a positive factor")
+            return 2
+        scales.append((channel, factor))
+
+    workload = make_workload(get_model(args.model))
+    system = default_system(num_csds=args.csds, gpu=_GPUS[args.gpu]())
+    trace = trace_scenario(system, workload, args.method,
+                           compression_ratio=args.ratio)
+    graph = telemetry.DepGraph.from_channels(trace.fabric.all_channels(),
+                                             trace.phase_windows)
+    if not graph.nodes:
+        print("critical path: no dependency data (the simulated "
+              "iteration recorded no transfers)")
+        return 0
+    known = {channel.name for channel in trace.fabric.all_channels()}
+    for channel, _factor in scales:
+        if channel not in known:
+            print(f"unknown channel {channel!r}; this run has: "
+                  f"{', '.join(sorted(known))}")
+            return 2
+
+    report = graph.critical_path()
+    print(f"what-if observatory — sim:{args.model}/{args.method} "
+          f"({args.csds} CSDs, {args.gpu})")
+    print(f"step time {graph.step_seconds:.3f} s")
+    print(report.render(top=args.top))
+
+    interventions = [telemetry.scale(channel, factor)
+                     for channel, factor in scales]
+    if args.add_csds is not None:
+        interventions.append(telemetry.add_csds(args.add_csds))
+    if args.compression_ratio is not None:
+        interventions.append(telemetry.compression_ratio(
+            args.compression_ratio, baseline=args.ratio))
+    if not interventions:
+        interventions = telemetry.default_interventions(
+            graph, ratio=args.ratio)
+    projections = telemetry.rank_interventions(graph, interventions)
+    print(telemetry.render_projections(projections))
+
+    validations = []
+    exit_code = 0
+    if args.validate:
+        # Without explicit --scale flags, probe the busiest resource —
+        # the one whose projection a reader is most likely to act on.
+        targets = scales or [(graph.resources()[0], 1.5)]
+        for channel, factor in targets:
+            validation = telemetry.validate_scale(
+                channel, factor, model=args.model, csds=args.csds,
+                method=args.method, gpu=args.gpu, ratio=args.ratio)
+            validations.append(validation)
+            ok = validation.error <= args.max_error
+            print(("PASS " if ok else "FAIL ") + validation.render())
+            if not ok:
+                exit_code = 1
+        if exit_code == 0:
+            print(f"validation: all projections within "
+                  f"{args.max_error:.0%} of the DES re-run")
+    if args.jsonl is not None:
+        telemetry.write_critpath_jsonl(
+            args.jsonl, report, projections=projections,
+            validations=validations,
+            meta={"source": "sim", "model": args.model,
+                  "method": args.method, "csds": args.csds,
+                  "gpu": args.gpu, "ratio": args.ratio})
+        print(f"[critpath events: {args.jsonl}]")
+    return exit_code
 
 
 def _run_functional_proxy(num_csds: int, method: str, ratio: float,
@@ -855,6 +1003,7 @@ _HANDLERS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
     "top": _cmd_top,
+    "whatif": _cmd_whatif,
     "health": _cmd_health,
     "experiment": _cmd_experiment,
     "trace": _cmd_trace,

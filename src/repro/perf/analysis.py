@@ -19,6 +19,7 @@ from ..hw.topology import SystemSpec
 from ..sim.trace import (ChannelSummary, summarize_channels,
                          traffic_by_tag)
 from ..telemetry.attrib import Attribution, attribute_channels
+from ..telemetry.critpath import CritPathReport, DepGraph
 from .scenarios import PhaseBreakdown, trace_scenario
 from .workload import Workload
 
@@ -33,6 +34,9 @@ class IterationAnalysis:
     tag_bytes: Dict[str, float]
     #: Phase x resource decomposition (buckets tile the step exactly).
     attribution: Optional[Attribution] = None
+    #: Critical path over the same channel records (CPM slack + the
+    #: gating chain the what-if engine replays).
+    critpath: Optional[CritPathReport] = None
 
     @property
     def bottleneck(self) -> ChannelSummary:
@@ -62,6 +66,18 @@ class IterationAnalysis:
                 f"{summary.bytes_total / 1e9:8.2f} GB")
         if self.attribution is not None:
             lines.append("  " + self.attribution.verdict().render())
+        if self.critpath is not None and self.critpath.path:
+            shares = sorted(self.critpath.resource_seconds().items(),
+                            key=lambda kv: -kv[1])
+            head = ", ".join(f"{name} {seconds:.2f}s"
+                             for name, seconds in shares[:3])
+            coverage = (self.critpath.path_seconds / self.breakdown.total
+                        if self.breakdown.total > 0 else 0.0)
+            lines.append(
+                f"  critical path: {len(self.critpath.path)} hops, "
+                f"{self.critpath.path_seconds:.2f}s busy + "
+                f"{self.critpath.wait_seconds:.2f}s waits "
+                f"({coverage:.0%} of step) — {head}")
         return "\n".join(lines)
 
 
@@ -72,6 +88,7 @@ def analyze_iteration(system: SystemSpec, workload: Workload, method: str,
     trace = trace_scenario(
         system, workload, method, compression_ratio=compression_ratio)
     channels = trace.fabric.all_channels()
+    graph = DepGraph.from_channels(channels, trace.phase_windows)
     return IterationAnalysis(
         method=method,
         breakdown=trace.breakdown,
@@ -79,6 +96,7 @@ def analyze_iteration(system: SystemSpec, workload: Workload, method: str,
         tag_bytes=traffic_by_tag(channels),
         attribution=attribute_channels(trace.phase_windows, channels,
                                        horizon=trace.breakdown.total),
+        critpath=graph.critical_path() if graph.nodes else None,
     )
 
 

@@ -19,7 +19,7 @@ namespace and runs at full device speed (§VI).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Mapping, Optional
 
 from ..errors import HardwareConfigError
 from ..hw.topology import SystemSpec
@@ -85,7 +85,9 @@ class Fabric:
 
     def __init__(self, sim: Simulator, system: SystemSpec,
                  raid_efficiency: float = RAID_EFFICIENCY,
-                 p2p_efficiency: float = P2P_EFFICIENCY) -> None:
+                 p2p_efficiency: float = P2P_EFFICIENCY,
+                 channel_scales: Optional[Mapping[str, float]] = None
+                 ) -> None:
         if not 0 < raid_efficiency <= 1:
             raise HardwareConfigError("raid efficiency must be in (0, 1]")
         if not 0 < p2p_efficiency <= 1:
@@ -94,14 +96,33 @@ class Fabric:
         self.system = system
         self.raid_efficiency = raid_efficiency
         self.p2p_efficiency = p2p_efficiency
+        # Counterfactual bandwidth multipliers, keyed by channel name —
+        # the hook the what-if self-validation uses to re-run a scenario
+        # with one link genuinely faster or slower.  Command latency is
+        # unaffected, matching the critpath replay semantics.
+        scales = dict(channel_scales or {})
+        for name, value in scales.items():
+            if value <= 0:
+                raise HardwareConfigError(
+                    f"channel scale for {name!r} must be positive, "
+                    f"got {value}")
+
+        def scaled(name: str, bandwidth: float) -> float:
+            return bandwidth * scales.pop(name, 1.0)
+
         link_bw = system.host_link.bandwidth
         link_lat = system.host_link.latency
-        self.link_up = Channel(sim, "host-link-up", link_bw,
+        self.link_up = Channel(sim, "host-link-up",
+                               scaled("host-link-up", link_bw),
                                latency=link_lat)
-        self.link_down = Channel(sim, "host-link-down", link_bw,
+        self.link_down = Channel(sim, "host-link-down",
+                                 scaled("host-link-down", link_bw),
                                  latency=link_lat)
-        self.cpu = Channel(sim, "cpu-updater", system.cpu.update_bandwidth)
-        self.bounce = Channel(sim, "host-bounce", BOUNCE_BANDWIDTH)
+        self.cpu = Channel(sim, "cpu-updater",
+                           scaled("cpu-updater",
+                                  system.cpu.update_bandwidth))
+        self.bounce = Channel(sim, "host-bounce",
+                              scaled("host-bounce", BOUNCE_BANDWIDTH))
 
         self.devices: List[DeviceChannels] = []
         for index, csd in enumerate(system.csds):
@@ -109,17 +130,27 @@ class Fabric:
             fpga = csd.fpga
             self.devices.append(DeviceChannels(
                 nand_read=Channel(sim, f"ssd{index}-read",
-                                  ssd.read_bandwidth, latency=ssd.latency),
+                                  scaled(f"ssd{index}-read",
+                                         ssd.read_bandwidth),
+                                  latency=ssd.latency),
                 nand_write=Channel(sim, f"ssd{index}-write",
-                                   ssd.write_bandwidth, latency=ssd.latency),
+                                   scaled(f"ssd{index}-write",
+                                          ssd.write_bandwidth),
+                                   latency=ssd.latency),
                 fpga_updater=Channel(sim, f"csd{index}-updater",
-                                     fpga.updater_bandwidth,
+                                     scaled(f"csd{index}-updater",
+                                            fpga.updater_bandwidth),
                                      latency=fpga.kernel_launch_latency),
                 fpga_decompressor=Channel(
                     sim, f"csd{index}-decompressor",
-                    fpga.decompressor_bandwidth,
+                    scaled(f"csd{index}-decompressor",
+                           fpga.decompressor_bandwidth),
                     latency=fpga.kernel_launch_latency),
             ))
+        if scales:
+            raise HardwareConfigError(
+                f"channel_scales names no channel of this system: "
+                f"{sorted(scales)}")
 
     @property
     def num_devices(self) -> int:

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..errors import HardwareConfigError
 from ..hw.topology import SystemSpec
@@ -118,14 +118,20 @@ class ScenarioTrace:
 def trace_scenario(system: SystemSpec, workload: Workload, method: str,
                    compression_ratio: float = 0.02,
                    num_blocks: int = DEFAULT_NUM_BLOCKS,
+                   channel_scales: Optional[Mapping[str, float]] = None,
                    ) -> ScenarioTrace:
-    """Simulate one iteration and keep its full sim-time timeline."""
+    """Simulate one iteration and keep its full sim-time timeline.
+
+    ``channel_scales`` multiplies named channels' bandwidths — the
+    counterfactual hook the critical-path what-if validation uses to
+    re-run an iteration with an intervention genuinely applied.
+    """
     if method not in METHODS + EXTENSION_METHODS:
         raise HardwareConfigError(
             f"unknown method {method!r}; choose from "
             f"{METHODS + EXTENSION_METHODS}")
     sim = Simulator()
-    fabric = Fabric(sim, system)
+    fabric = Fabric(sim, system, channel_scales=channel_scales)
     clock = PhaseClock(sim)
     scenario = _Scenario(sim, fabric, clock, system, workload, method,
                          compression_ratio, num_blocks)

@@ -32,11 +32,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..api import create_engine
 from ..compression.topk import keep_count
 from ..faults import FaultPlan
 from ..memory import aggregate_arena_stats
 from ..nn import SequenceClassifier, bert_config
+from ..telemetry.critpath import DepGraph, condense
 from .engine import TrainingConfig
 from .parallel import resolve_backend, usable_cpus
 
@@ -107,6 +109,11 @@ class BenchRun:
     #: Condensed step-health view (alert count + key EWMA signals), or
     #: ``None`` when the flight recorder/health monitor was disabled.
     health: Optional[Dict[str, object]] = None
+    #: Condensed critical path of one *untimed* probe step traced after
+    #: the timed loop (wall-clock spans -> dependency DAG), or ``None``
+    #: when the probe produced no resource spans.  Probing outside the
+    #: timed region keeps the regression gate's numbers untouched.
+    critpath: Optional[Dict[str, object]] = None
 
 
 def _loss_fn(model, tokens, labels):
@@ -157,6 +164,15 @@ def _run_one(workload: BenchWorkload, num_csds: int, workers: int,
                 engine.train_step(tokens, labels)
             wall = time.perf_counter() - begin
             timed = engine.meter.iterations[-workload.steps:]
+            # One extra untimed step under a telemetry session gives the
+            # wall-clock spans the critical-path probe chains.  Both the
+            # sequential and the pooled run take it, so the bit-identity
+            # checksum comparison below stays step-for-step aligned.
+            with telemetry.session() as probe:
+                engine.train_step(tokens, labels)
+            graph = DepGraph.from_spans(probe.tracer.spans)
+            critpath = (condense(graph.critical_path())
+                        if graph.nodes else None)
             params = engine.space.gather_params()
             fault_stats = engine.fault_stats() if fault_plan else None
             health = _condense_health(engine.health_summary())
@@ -171,7 +187,8 @@ def _run_one(workload: BenchWorkload, num_csds: int, workers: int,
         internal_write_bytes=sum(t.internal_writes for t in timed),
         param_checksum=_checksum(params),
         faults=fault_stats,
-        health=health)
+        health=health,
+        critpath=critpath)
 
 
 def _measure_smartcomp_cache(workload: BenchWorkload,
@@ -355,6 +372,17 @@ def render_report(report: Dict[str, object]) -> str:
             f"  health: {alerts} alert(s) across "
             f"{len(healths)} run(s){suffix}, flight recorder "
             f"{'on' if report.get('flight_recorder', True) else 'off'}")
+    probed = [run for run in report["runs"] if run.get("critpath")]
+    if probed:
+        run = probed[-1]
+        cp = run["critpath"]
+        top_res = ", ".join(f"{name} {seconds:.3f}s" for name, seconds
+                            in list(cp["top_resources"].items())[:3])
+        lines.append(
+            f"  critical path ({run['num_csds']} CSDs x "
+            f"{run['workers']} worker(s) probe): {cp['path_hops']} hops, "
+            f"{cp['path_fraction']:.0%} of {cp['step_seconds']:.3f}s "
+            f"step on path — {top_res}")
     if report.get("fault_plan") is not None:
         injected = sum(sum(run["faults"]["injected"].values())
                        for run in report["runs"] if run.get("faults"))

@@ -113,6 +113,14 @@ class TrainingConfig:
     #: None disables *file* dumps — alerts still fire and land in the
     #: ring — so library/test use never writes files unasked.
     flight_dump_dir: Optional[str] = None
+    #: Most incident dump files this engine will write (distinct
+    #: incident keys beyond the cap are dropped, not rotated — the
+    #: *first* occurrences are the interesting ones).
+    flight_dump_limit: int = 16
+    #: When set, prune the dump directory down to the newest N
+    #: ``flightrec-*.jsonl`` files after every write — bounding a
+    #: long-lived directory across runs.  None keeps everything.
+    flight_dump_retention: Optional[int] = None
     #: Declarative SLO/anomaly rules as raw dicts (the shape of
     #: ``examples/slo.json``); None applies
     #: :data:`repro.telemetry.health.DEFAULT_SLO_RULES`.
@@ -276,8 +284,10 @@ class MixedPrecisionTrainer:
                 capacity_per_worker=config.flight_capacity)
             self._flight_previous = flight.install(self.flight)
             if config.flight_dump_dir is not None:
-                self._incidents = IncidentDumper(self.flight,
-                                                 config.flight_dump_dir)
+                self._incidents = IncidentDumper(
+                    self.flight, config.flight_dump_dir,
+                    limit=config.flight_dump_limit,
+                    retention=config.flight_dump_retention)
         self._fault_snapshot = self.fault_stats()
         self._arena_snapshot = aggregate_arena_stats()
         self._span_cursor = 0

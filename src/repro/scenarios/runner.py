@@ -587,3 +587,20 @@ class ScenarioRunner:
                     expect.bit_identical_to_reference,
                     {"run": checksum, "reference": reference},
                     identical == expect.bit_identical_to_reference)
+        if expect.whatif_error is not None:
+            # Gate the what-if projection engine against a DES re-run.
+            # The check is pure simulation (seed-independent and free of
+            # wall-clock state), so the event log stays byte-identical
+            # across replays; the error is rounded for log stability.
+            from ..telemetry.critpath import validate_scale
+            spec = expect.whatif_error
+            max_error = float(spec.get("max_error", 0.05))
+            validation = validate_scale(
+                str(spec["channel"]), float(spec["factor"]),
+                model=str(spec.get("model", "gpt2-1.16b")),
+                csds=int(spec.get("csds", 4)),
+                method=str(spec.get("method", "su_o_c")),
+                gpu=str(spec.get("gpu", "a5000")),
+                ratio=float(spec.get("ratio", 0.02)))
+            error = round(validation.error, 6)
+            add("whatif_error", max_error, error, error <= max_error)

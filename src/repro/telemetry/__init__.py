@@ -17,6 +17,9 @@ repository (the question the paper's whole evaluation answers):
 * :mod:`~repro.telemetry.profiler` — the bottleneck observatory built
   on attrib: ``repro top`` rendering, Chrome-trace re-import, JSONL
   event log, and attribution metrics recording;
+* :mod:`~repro.telemetry.critpath` — the critical-path observatory:
+  per-step dependency DAGs over DES records or wall-clock spans, CPM
+  slack, and the what-if projection engine behind ``repro whatif``;
 * :mod:`~repro.telemetry.flight` — the always-on flight recorder:
   per-worker ring buffers of recent span/metric/fault/arena events,
   merged on demand into one ordered ``smart-infinity/flightrec/v1``
@@ -59,6 +62,13 @@ from typing import Iterator, Optional
 from .attrib import (Attribution, BottleneckVerdict, COMPUTE,
                      ResourceUsage, attribute, attribute_channels,
                      attribute_spans, merge_intervals)
+from .critpath import (CRITPATH_SCHEMA, CritPathReport, DagEdge, DagNode,
+                       DepGraph, Intervention, PathStep, Projection,
+                       ProjectionValidation, add_csds, compression_ratio,
+                       condense as condense_critpath,
+                       default_interventions, project, rank_interventions,
+                       render_projections, scale, validate_scale,
+                       write_critpath_jsonl)
 from .export import (channels_to_records, chrome_trace, phase_events,
                      record_channel_metrics, record_events, span_events,
                      write_chrome_trace)
@@ -80,32 +90,51 @@ __all__ = [
     "Attribution",
     "BottleneckVerdict",
     "COMPUTE",
+    "CRITPATH_SCHEMA",
     "Counter",
+    "CritPathReport",
     "DEFAULT_SLO_RULES",
+    "DagEdge",
+    "DagNode",
+    "DepGraph",
     "EVENTS_SCHEMA",
     "Ewma",
     "FLIGHT_SCHEMA",
     "FlightRecorder",
     "IncidentDumper",
+    "Intervention",
+    "PathStep",
     "ProfileReport",
+    "Projection",
+    "ProjectionValidation",
     "ResourceUsage",
     "Rule",
     "RulesEngine",
     "SignalWindow",
     "StepHealthMonitor",
+    "add_csds",
     "attribute",
     "attribute_channels",
     "attribute_spans",
+    "compression_ratio",
+    "condense_critpath",
+    "default_interventions",
     "evaluate_attribution",
     "load_chrome_trace",
     "load_slo_rules",
     "merge_intervals",
     "parse_rules",
     "profile_scenario",
+    "project",
+    "rank_interventions",
     "record_attribution_metrics",
     "record_flight_event",
     "render_alerts",
+    "render_projections",
     "render_top",
+    "scale",
+    "validate_scale",
+    "write_critpath_jsonl",
     "write_events_jsonl",
     "Gauge",
     "Histogram",

@@ -1,0 +1,784 @@
+"""Critical-path observatory: dependency DAGs, slack, what-if replay.
+
+The attribution layer (:mod:`repro.telemetry.attrib`) names the busiest
+resource; this module proves which transfers actually *gate* the step
+and predicts what an intervention buys.  It reconstructs a per-step
+dependency DAG from the two evidence sources the repo already emits —
+DES channel records (:class:`repro.sim.resources.TransferRecord`) and
+resource-tagged wall-clock spans (:mod:`repro.telemetry.spans`,
+including child spans forwarded by the process backend) — then:
+
+* extracts the **critical path** with per-node slack (classic CPM:
+  earliest times are the measured schedule, latest times anchor at the
+  measured makespan; slack = latest - earliest start, >= 0);
+* answers **counterfactual queries** by replaying the DAG with scaled
+  node durations: :func:`scale` (a channel gets faster/slower),
+  :func:`add_csds` (the device-internal work spreads over more
+  devices), :func:`compression_ratio` (the gradient offload shrinks),
+  ranked by projected step-time reduction.
+
+Edge inference, in the order the replay semantics force it:
+
+* **serialization edges** — consecutive records on one channel (FIFO by
+  construction) with lag 0: a transfer can never start before its
+  channel predecessor finishes, but the *request* timing is carried by
+  the causal edge, so a faster channel drains its queue earlier instead
+  of being pinned to the measured gaps;
+* **causal edges** — each node depends on the latest-finishing earlier
+  node(s) whose end does not exceed its start.  When the lag is zero
+  this is exactly the DES event that resumed the waiting process; a
+  positive lag preserves whatever untracked work (compute timeouts,
+  driver overheads) separated them;
+* **source edges** — nodes with no predecessor anchor to the step
+  origin with their measured lead-in as the lag.
+
+Because every edge stores its measured lag, replaying the DAG with
+*unchanged* durations reproduces the measured schedule — so a factor-1.0
+intervention projects exactly the measured step time, and projection
+error under a real intervention comes only from edge inference (the
+self-validation in :func:`validate_scale` re-runs the DES with the
+intervention actually applied and reports that error).
+
+All heavy dependencies (hw/nn/perf) are imported lazily so
+``repro.telemetry`` stays importable on its own.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import TelemetryError
+
+#: Schema marker of the critical-path JSONL export.
+CRITPATH_SCHEMA = "smart-infinity/critpath/v1"
+
+#: Device-internal resources (per-CSD channels) — the set an
+#: :func:`add_csds` intervention spreads across more devices.
+_DEVICE_RESOURCE = re.compile(r"^(ssd|csd)(\d+)-")
+
+#: Transfer tags that carry the (possibly compressed) gradient volume.
+_GRADIENT_TAGS = ("grad-offload",)
+
+
+@dataclass(frozen=True)
+class DagNode:
+    """One tracked operation: a channel transfer or a resource span."""
+
+    index: int
+    resource: str
+    tag: str
+    nbytes: float
+    start: float
+    end: float
+    #: Fixed command overhead of the operation (channel latency); the
+    #: remainder (``duration - latency``) is the data-proportional part
+    #: interventions scale.
+    latency: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class DagEdge:
+    """A precedence constraint ``dst`` waits on, with its measured lag.
+
+    ``src`` is a node index, or ``-1`` for the virtual step source;
+    ``kind`` is ``serial`` (same-channel FIFO), ``causal``
+    (latest-finisher trigger), or ``source`` (step-origin anchor).
+    """
+
+    src: int
+    dst: int
+    lag: float
+    kind: str
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One hop of the critical path."""
+
+    resource: str
+    tag: str
+    nbytes: float
+    start: float
+    end: float
+    duration: float
+    #: Wait between the previous path node's end (or the step origin)
+    #: and this node's start — untracked time the path spent blocked.
+    wait: float
+
+
+@dataclass
+class CritPathReport:
+    """The extracted critical path plus its conservation accounting."""
+
+    step_seconds: float
+    makespan: float
+    path: List[PathStep]
+    #: Per-node slack (latest start - earliest start), graph order.
+    slack: List[float]
+    num_nodes: int
+    num_edges: int
+
+    @property
+    def path_seconds(self) -> float:
+        """Busy time on the path (excludes waits)."""
+        return sum(step.duration for step in self.path)
+
+    @property
+    def wait_seconds(self) -> float:
+        return sum(step.wait for step in self.path)
+
+    def resource_seconds(self) -> Dict[str, float]:
+        """Busy seconds on the path, per resource."""
+        totals: Dict[str, float] = {}
+        for step in self.path:
+            totals[step.resource] = (totals.get(step.resource, 0.0)
+                                     + step.duration)
+        return totals
+
+    def render(self, top: int = 6) -> str:
+        """Terminal pane: path composition and coverage."""
+        if not self.path:
+            return ("critical path: no dependency data (no transfer "
+                    "records or resource spans to chain)")
+        coverage = (self.path_seconds / self.step_seconds
+                    if self.step_seconds > 0 else 0.0)
+        lines = [f"critical path — {len(self.path)} of {self.num_nodes} "
+                 f"tracked ops, {self.path_seconds:.3f} s busy + "
+                 f"{self.wait_seconds:.3f} s waits "
+                 f"({coverage:.0%} of {self.step_seconds:.3f} s step)"]
+        shares = sorted(self.resource_seconds().items(),
+                        key=lambda kv: -kv[1])
+        lines.append(f"  {'resource':<22} {'hops':>5} {'busy s':>9} "
+                     f"{'of step':>8}")
+        hops: Dict[str, int] = {}
+        for step in self.path:
+            hops[step.resource] = hops.get(step.resource, 0) + 1
+        for name, seconds in shares[:top]:
+            share = (seconds / self.step_seconds
+                     if self.step_seconds > 0 else 0.0)
+            lines.append(f"  {name:<22} {hops[name]:>5} {seconds:>9.3f} "
+                         f"{share:>8.1%}")
+        if len(shares) > top:
+            lines.append(f"  ... {len(shares) - top} quieter path "
+                         f"resource(s) omitted")
+        return "\n".join(lines)
+
+
+class DepGraph:
+    """Per-step dependency DAG over measured operations.
+
+    Nodes are topologically ordered (stable sort by start then end, so
+    same-channel FIFO order survives ties); every edge points from a
+    lower to a higher index.  ``replay`` recomputes the schedule under
+    modified durations; unchanged durations short-circuit to the
+    measured schedule, which is what makes factor-1.0 projections exact.
+    """
+
+    def __init__(self, nodes: Sequence[DagNode], edges: Sequence[DagEdge],
+                 step_seconds: float, origin: float = 0.0) -> None:
+        self.nodes = list(nodes)
+        self.edges = list(edges)
+        self.step_seconds = float(step_seconds)
+        self.origin = float(origin)
+        self.preds: List[List[DagEdge]] = [[] for _ in self.nodes]
+        self.succs: List[List[DagEdge]] = [[] for _ in self.nodes]
+        for edge in self.edges:
+            self.preds[edge.dst].append(edge)
+            if edge.src >= 0:
+                self.succs[edge.src].append(edge)
+        self.measured_starts = [node.start for node in self.nodes]
+        self.measured_ends = [node.end for node in self.nodes]
+        self.makespan = (max(self.measured_ends) - self.origin
+                         if self.nodes else 0.0)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_channels(cls, channels: Iterable,
+                      phase_windows: Sequence[Tuple[str, float, float]]
+                      ) -> "DepGraph":
+        """Build from DES channels (``.name``/``.records``/``.latency``).
+
+        ``phase_windows`` (the :class:`~repro.sim.resources.PhaseClock`
+        output) define the step duration the projections are measured
+        against.
+        """
+        from ..sim.trace import iter_transfer_records
+        raw = [(record.start, record.end, record.channel, record.tag,
+                record.nbytes, float(getattr(channel, "latency", 0.0)))
+               for record, channel in iter_transfer_records(channels)]
+        step_seconds = sum(end - start
+                           for _phase, start, end in phase_windows
+                           if end > start)
+        return cls._build(raw, step_seconds, origin=0.0)
+
+    @classmethod
+    def from_spans(cls, spans: Iterable,
+                   phase_names: Optional[Sequence[str]] = None
+                   ) -> "DepGraph":
+        """Build from wall-clock spans.
+
+        Spans carrying a ``resource`` attribute become nodes (the same
+        convention :func:`~repro.telemetry.attrib.attribute_spans`
+        uses); spans named in ``phase_names`` define the step windows.
+        Child-process spans forwarded through
+        :meth:`~repro.telemetry.spans.SpanTracer.ingest` are already
+        rebased onto the parent clock, so they chain like local ones.
+        """
+        from .attrib import PHASE_SPAN_NAMES
+        names = tuple(phase_names or PHASE_SPAN_NAMES)
+        raw: List[Tuple[float, float, str, str, float, float]] = []
+        step_seconds = 0.0
+        origin: Optional[float] = None
+        for span in spans:
+            attrs = span.attrs or {}
+            resource = attrs.get("resource")
+            if resource is not None:
+                raw.append((span.start, span.end, str(resource),
+                            span.name, float(attrs.get("nbytes", 0.0)),
+                            0.0))
+            elif span.name in names:
+                step_seconds += max(0.0, span.end - span.start)
+                origin = (span.start if origin is None
+                          else min(origin, span.start))
+        if raw:
+            origin = (min(item[0] for item in raw) if origin is None
+                      else min(origin, min(item[0] for item in raw)))
+        return cls._build(raw, step_seconds, origin=origin or 0.0)
+
+    @classmethod
+    def from_intervals(cls, busy_by_resource: Mapping[str, Sequence[
+            Tuple[float, float]]],
+            phase_windows: Sequence[Tuple[str, float, float]]
+            ) -> "DepGraph":
+        """Build from bare per-resource busy intervals (re-imported
+        Chrome traces, where per-record bytes and channel latency are
+        gone).  Interval order within one resource must be FIFO."""
+        raw: List[Tuple[float, float, str, str, float, float]] = []
+        for resource, intervals in busy_by_resource.items():
+            for start, end in intervals:
+                raw.append((float(start), float(end), str(resource), "",
+                            0.0, 0.0))
+        step_seconds = sum(end - start
+                           for _phase, start, end in phase_windows
+                           if end > start)
+        origin = min((start for _p, start, _e in phase_windows),
+                     default=0.0)
+        if raw:
+            origin = min(origin, min(item[0] for item in raw))
+        return cls._build(raw, step_seconds, origin=origin)
+
+    @classmethod
+    def _build(cls, raw: Sequence[Tuple[float, float, str, str, float,
+                                        float]],
+               step_seconds: float, origin: float) -> "DepGraph":
+        ordered = sorted(raw, key=lambda item: (item[0], item[1]))
+        nodes = [DagNode(index=i, resource=res, tag=tag, nbytes=nbytes,
+                         start=start, end=end, latency=latency)
+                 for i, (start, end, res, tag, nbytes, latency)
+                 in enumerate(ordered)]
+        edges: List[DagEdge] = []
+        last_on: Dict[str, int] = {}
+        # Finished nodes so far, keyed by end time, for the
+        # latest-finisher query (all candidates have a lower index
+        # because nodes are processed in start order).
+        ends_sorted: List[Tuple[float, int]] = []
+        for node in nodes:
+            preds = set()
+            serial = last_on.get(node.resource)
+            if serial is not None:
+                # Pure FIFO: lag 0, not the measured gap — the measured
+                # request timing is the causal edge's job, and pinning
+                # it here would stop a faster channel from draining its
+                # queue earlier than it did.
+                edges.append(DagEdge(src=serial, dst=node.index,
+                                     lag=0.0, kind="serial"))
+                preds.add(serial)
+            cut = bisect.bisect_right(ends_sorted, (node.start, len(nodes)))
+            if cut > 0:
+                best_end = ends_sorted[cut - 1][0]
+                lo = bisect.bisect_left(ends_sorted, (best_end, -1))
+                # Every node finishing exactly at best_end is a
+                # plausible trigger (legs of one all_of barrier).
+                for end, src in ends_sorted[lo:cut]:
+                    lag = max(0.0, node.start - end)
+                    if src == serial and lag == 0.0:
+                        # Identical to the serial FIFO edge; a positive
+                        # lag still gets its own causal edge so the
+                        # measured request timing stays anchored.
+                        continue
+                    edges.append(DagEdge(src=src, dst=node.index,
+                                         lag=lag, kind="causal"))
+                    preds.add(src)
+            if not preds:
+                edges.append(DagEdge(src=-1, dst=node.index,
+                                     lag=max(0.0, node.start - origin),
+                                     kind="source"))
+            last_on[node.resource] = node.index
+            bisect.insort(ends_sorted, (node.end, node.index))
+        return cls(nodes, edges, step_seconds, origin=origin)
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def durations(self) -> List[float]:
+        """The measured node durations (the replay baseline)."""
+        return [node.duration for node in self.nodes]
+
+    def replay(self, durations: Optional[Sequence[float]] = None
+               ) -> Tuple[List[float], List[float], float]:
+        """Schedule under ``durations``; returns (starts, ends, makespan).
+
+        Starts/ends are absolute (same clock as the measured nodes).
+        Unchanged durations return the measured schedule verbatim —
+        identity is by construction, not by floating-point luck.
+        """
+        if durations is None:
+            durations = self.durations()
+        durations = list(durations)
+        if len(durations) != len(self.nodes):
+            raise TelemetryError(
+                f"replay needs {len(self.nodes)} durations, got "
+                f"{len(durations)}")
+        if durations == self.durations():
+            return (list(self.measured_starts), list(self.measured_ends),
+                    self.makespan)
+        starts = [0.0] * len(self.nodes)
+        ends = [0.0] * len(self.nodes)
+        for node in self.nodes:
+            ready = self.origin
+            for edge in self.preds[node.index]:
+                base = self.origin if edge.src < 0 else ends[edge.src]
+                ready = max(ready, base + edge.lag)
+            starts[node.index] = ready
+            ends[node.index] = ready + durations[node.index]
+        makespan = (max(ends) - self.origin) if ends else 0.0
+        return starts, ends, makespan
+
+    def projected_step_seconds(self,
+                               durations: Optional[Sequence[float]] = None
+                               ) -> float:
+        """Step time under ``durations``: the untracked remainder of the
+        step (phase time not covered by the DAG makespan) is constant."""
+        _starts, _ends, makespan = self.replay(durations)
+        return self.step_seconds + (makespan - self.makespan)
+
+    # ------------------------------------------------------------------
+    # critical path + slack
+    # ------------------------------------------------------------------
+    def critical_path(self) -> CritPathReport:
+        """CPM over the measured schedule."""
+        n = len(self.nodes)
+        starts, ends = self.measured_starts, self.measured_ends
+        horizon = self.origin + self.makespan
+        tol = 1e-9 * max(1.0, abs(horizon))
+        latest_end = [horizon] * n
+        for node in reversed(self.nodes):
+            for edge in self.succs[node.index]:
+                latest_start_succ = (latest_end[edge.dst]
+                                     - self.nodes[edge.dst].duration)
+                latest_end[node.index] = min(
+                    latest_end[node.index], latest_start_succ - edge.lag)
+        slack = [max(0.0, (latest_end[i] - self.nodes[i].duration)
+                     - starts[i])
+                 for i in range(n)]
+
+        path_nodes: List[DagNode] = []
+        if self.nodes:
+            current = max(range(n), key=lambda i: (ends[i], -i))
+            while True:
+                node = self.nodes[current]
+                path_nodes.append(node)
+                determining = None
+                for edge in self.preds[current]:
+                    if edge.src < 0:
+                        continue
+                    if abs(ends[edge.src] + edge.lag
+                           - starts[current]) <= tol:
+                        if (determining is None
+                                or ends[edge.src] > ends[determining]
+                                or (ends[edge.src] == ends[determining]
+                                    and edge.src > determining)):
+                            determining = edge.src
+                if determining is None:
+                    break
+                current = determining
+            path_nodes.reverse()
+
+        path: List[PathStep] = []
+        previous_end = self.origin
+        for node in path_nodes:
+            path.append(PathStep(
+                resource=node.resource, tag=node.tag, nbytes=node.nbytes,
+                start=node.start, end=node.end, duration=node.duration,
+                wait=max(0.0, node.start - previous_end)))
+            previous_end = node.end
+        return CritPathReport(step_seconds=self.step_seconds,
+                              makespan=self.makespan, path=path,
+                              slack=slack, num_nodes=n,
+                              num_edges=len(self.edges))
+
+    # ------------------------------------------------------------------
+    # introspection helpers for interventions
+    # ------------------------------------------------------------------
+    def resources(self) -> List[str]:
+        """Distinct resources, busiest first."""
+        busy: Dict[str, float] = {}
+        for node in self.nodes:
+            busy[node.resource] = (busy.get(node.resource, 0.0)
+                                   + node.duration)
+        return sorted(busy, key=lambda name: -busy[name])
+
+    def device_count(self) -> int:
+        """Distinct CSD/SSD indices appearing in node resources."""
+        indices = set()
+        for node in self.nodes:
+            match = _DEVICE_RESOURCE.match(node.resource)
+            if match:
+                indices.add(int(match.group(2)))
+        return len(indices)
+
+
+# ----------------------------------------------------------------------
+# interventions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Intervention:
+    """A counterfactual edit to the DAG's node durations.
+
+    ``kind`` selects the semantics; ``params`` the knobs.  Durations
+    scale only in their data-proportional part: ``duration' = latency +
+    (duration - latency) * factor`` — command latency survives any
+    bandwidth change.
+    """
+
+    kind: str
+    label: str
+    params: Tuple[Tuple[str, object], ...]
+
+    def param(self, name: str, default: object = None) -> object:
+        return dict(self.params).get(name, default)
+
+    def durations(self, graph: DepGraph) -> List[float]:
+        """The edited duration vector for ``graph``."""
+        if self.kind == "scale":
+            channel = str(self.param("channel"))
+            factor = float(self.param("factor"))
+            return _scale_durations(
+                graph, factor,
+                lambda node: node.resource == channel)
+        if self.kind == "add_csds":
+            extra = int(self.param("extra"))
+            current = graph.device_count()
+            if current <= 0 or extra <= 0:
+                return graph.durations()
+            factor = current / (current + extra)
+            return _scale_durations(
+                graph, factor,
+                lambda node: _DEVICE_RESOURCE.match(node.resource)
+                is not None)
+        if self.kind == "compression_ratio":
+            ratio = float(self.param("ratio"))
+            baseline = float(self.param("baseline"))
+            if baseline <= 0:
+                raise TelemetryError(
+                    "compression_ratio intervention needs a positive "
+                    "baseline ratio")
+            factor = ratio / baseline
+            return _scale_durations(
+                graph, factor,
+                lambda node: node.tag in _GRADIENT_TAGS)
+        raise TelemetryError(
+            f"unknown intervention kind {self.kind!r}")
+
+
+def _scale_durations(graph: DepGraph, factor: float,
+                     selector) -> List[float]:
+    if factor <= 0:
+        raise TelemetryError(
+            f"intervention factor must be positive, got {factor}")
+    durations = graph.durations()
+    if factor == 1.0:
+        return durations
+    for node in graph.nodes:
+        if selector(node):
+            data = max(0.0, node.duration - node.latency)
+            durations[node.index] = node.latency + data * factor
+    return durations
+
+
+def scale(channel: str, factor: float) -> Intervention:
+    """The named channel's transfers take ``factor`` times as long
+    (0.5 = the link got twice as fast; 2.0 = half the bandwidth)."""
+    return Intervention(
+        kind="scale", label=f"scale({channel}, {factor:g})",
+        params=(("channel", channel), ("factor", float(factor))))
+
+
+def add_csds(extra: int) -> Intervention:
+    """``extra`` more CSDs: device-internal work (ssd*/csd* channels)
+    spreads over ``current + extra`` devices; the shared host link is
+    deliberately left unchanged (documented approximation — per-device
+    volumes shrink, host-side volume does not)."""
+    return Intervention(kind="add_csds", label=f"add_csds(+{extra})",
+                        params=(("extra", int(extra)),))
+
+
+def compression_ratio(ratio: float,
+                      baseline: float = 0.02) -> Intervention:
+    """SmartComp volume ratio changes from ``baseline`` to ``ratio``:
+    gradient-offload transfers scale by ``ratio / baseline``
+    (decompressor and P2P-load costs are left unchanged — documented
+    approximation)."""
+    return Intervention(
+        kind="compression_ratio",
+        label=f"compression_ratio({ratio:g})",
+        params=(("ratio", float(ratio)), ("baseline", float(baseline))))
+
+
+@dataclass(frozen=True)
+class Projection:
+    """One intervention's projected effect on the step time."""
+
+    label: str
+    baseline_step_seconds: float
+    projected_step_seconds: float
+
+    @property
+    def reduction_seconds(self) -> float:
+        return self.baseline_step_seconds - self.projected_step_seconds
+
+    @property
+    def speedup(self) -> float:
+        if self.projected_step_seconds <= 0:
+            return 0.0
+        return self.baseline_step_seconds / self.projected_step_seconds
+
+
+def project(graph: DepGraph, intervention: Intervention) -> Projection:
+    """Replay the DAG under one intervention."""
+    projected = graph.projected_step_seconds(
+        intervention.durations(graph))
+    return Projection(label=intervention.label,
+                      baseline_step_seconds=graph.step_seconds,
+                      projected_step_seconds=projected)
+
+
+def rank_interventions(graph: DepGraph,
+                       interventions: Sequence[Intervention]
+                       ) -> List[Projection]:
+    """Project every intervention, best step-time reduction first."""
+    projections = [project(graph, item) for item in interventions]
+    projections.sort(key=lambda p: (-p.reduction_seconds, p.label))
+    return projections
+
+
+def default_interventions(graph: DepGraph, ratio: float = 0.02
+                          ) -> List[Intervention]:
+    """A canonical candidate set: halve the busiest links' transfer
+    times, double the CSD fleet, halve the compression ratio (when the
+    run carries gradient-offload traffic)."""
+    candidates = [scale(name, 0.5) for name in graph.resources()[:3]]
+    devices = graph.device_count()
+    if devices > 0:
+        candidates.append(add_csds(devices))
+    if any(node.tag in _GRADIENT_TAGS for node in graph.nodes):
+        candidates.append(compression_ratio(ratio / 2.0,
+                                            baseline=ratio))
+    return candidates
+
+
+def render_projections(projections: Sequence[Projection]) -> str:
+    """Terminal pane: ranked what-if projections."""
+    if not projections:
+        return "what-if projections: none requested"
+    lines = ["what-if projections (ranked by step-time reduction):"]
+    width = max(len(p.label) for p in projections)
+    for p in projections:
+        lines.append(
+            f"  {p.label.ljust(width)}  "
+            f"{p.baseline_step_seconds:.3f} s -> "
+            f"{p.projected_step_seconds:.3f} s  "
+            f"({p.reduction_seconds:+.3f} s saved, "
+            f"{p.speedup:.2f}x)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# self-validation: re-run the DES with the intervention applied
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProjectionValidation:
+    """Projected vs DES-measured step time for one scale intervention."""
+
+    channel: str
+    factor: float
+    baseline_step_seconds: float
+    projected_step_seconds: float
+    actual_step_seconds: float
+
+    @property
+    def error(self) -> float:
+        """Relative projection error vs the DES re-run."""
+        if self.actual_step_seconds <= 0:
+            return 0.0
+        return (abs(self.projected_step_seconds
+                    - self.actual_step_seconds)
+                / self.actual_step_seconds)
+
+    def render(self) -> str:
+        return (f"validate scale({self.channel}, {self.factor:g}): "
+                f"projected {self.projected_step_seconds:.3f} s, "
+                f"DES re-run {self.actual_step_seconds:.3f} s "
+                f"(error {self.error:.2%})")
+
+
+def validate_scale(channel: str, factor: float,
+                   model: str = "gpt2-1.16b", csds: int = 4,
+                   method: str = "su_o_c", gpu: str = "a5000",
+                   ratio: float = 0.02) -> ProjectionValidation:
+    """Project a channel scaling, then actually apply it in the DES.
+
+    The re-run multiplies the channel's bandwidth by ``1 / factor``
+    (a factor-0.5 projection — transfers twice as fast — doubles the
+    bandwidth), so per-record durations match the projection exactly
+    and any disagreement is pure edge-inference error.
+    """
+    # Lazy imports: telemetry stays importable without perf/hw/nn.
+    from ..hw.gpu import a100_40g, a4000, a5000
+    from ..hw.topology import default_system
+    from ..nn.models import get_model
+    from ..perf.scenarios import trace_scenario
+    from ..perf.workload import make_workload
+
+    if factor <= 0:
+        raise TelemetryError(
+            f"scale factor must be positive, got {factor}")
+    gpus = {"a5000": a5000, "a100": a100_40g, "a4000": a4000}
+    workload = make_workload(get_model(model))
+    system = default_system(num_csds=csds, gpu=gpus[gpu]())
+    base = trace_scenario(system, workload, method,
+                          compression_ratio=ratio)
+    graph = DepGraph.from_channels(base.fabric.all_channels(),
+                                   base.phase_windows)
+    known = {c.name for c in base.fabric.all_channels()}
+    if channel not in known:
+        raise TelemetryError(
+            f"unknown channel {channel!r}; this run has "
+            f"{sorted(known)}")
+    projection = project(graph, scale(channel, factor))
+    rerun = trace_scenario(system, workload, method,
+                           compression_ratio=ratio,
+                           channel_scales={channel: 1.0 / factor})
+    return ProjectionValidation(
+        channel=channel, factor=float(factor),
+        baseline_step_seconds=base.breakdown.total,
+        projected_step_seconds=projection.projected_step_seconds,
+        actual_step_seconds=rerun.breakdown.total)
+
+
+# ----------------------------------------------------------------------
+# condensed + JSONL exports
+# ----------------------------------------------------------------------
+def condense(report: CritPathReport, top: int = 4) -> Dict[str, object]:
+    """The bench-report embedding: coverage plus top path resources."""
+    shares = sorted(report.resource_seconds().items(),
+                    key=lambda kv: -kv[1])
+    return {
+        "step_seconds": report.step_seconds,
+        "path_seconds": report.path_seconds,
+        "wait_seconds": report.wait_seconds,
+        "path_fraction": (report.path_seconds / report.step_seconds
+                          if report.step_seconds > 0 else 0.0),
+        "path_hops": len(report.path),
+        "tracked_ops": report.num_nodes,
+        "top_resources": {name: round(seconds, 6)
+                          for name, seconds in shares[:top]},
+    }
+
+
+def write_critpath_jsonl(path: str, report: CritPathReport,
+                         projections: Sequence[Projection] = (),
+                         validations: Sequence[ProjectionValidation] = (),
+                         meta: Optional[Dict[str, object]] = None) -> str:
+    """The ``smart-infinity/critpath/v1`` event log; returns ``path``."""
+    records: List[Dict[str, object]] = [{
+        "type": "meta", "schema": CRITPATH_SCHEMA,
+        "step_seconds": report.step_seconds,
+        "makespan": report.makespan,
+        "path_seconds": report.path_seconds,
+        "wait_seconds": report.wait_seconds,
+        "path_hops": len(report.path),
+        "tracked_ops": report.num_nodes,
+        "edges": report.num_edges,
+        **(meta or {}),
+    }]
+    for index, step in enumerate(report.path):
+        records.append({
+            "type": "path_step", "index": index,
+            "resource": step.resource, "tag": step.tag,
+            "nbytes": step.nbytes, "start": step.start,
+            "end": step.end, "duration": step.duration,
+            "wait": step.wait,
+        })
+    for resource, seconds in sorted(report.resource_seconds().items()):
+        records.append({
+            "type": "path_resource", "resource": resource,
+            "seconds": seconds,
+            "fraction": (seconds / report.step_seconds
+                         if report.step_seconds > 0 else 0.0),
+        })
+    for projection in projections:
+        records.append({
+            "type": "projection", "label": projection.label,
+            "baseline_step_seconds": projection.baseline_step_seconds,
+            "projected_step_seconds":
+                projection.projected_step_seconds,
+            "reduction_seconds": projection.reduction_seconds,
+            "speedup": projection.speedup,
+        })
+    for validation in validations:
+        records.append({
+            "type": "validation", "channel": validation.channel,
+            "factor": validation.factor,
+            "projected_step_seconds":
+                validation.projected_step_seconds,
+            "actual_step_seconds": validation.actual_step_seconds,
+            "error": validation.error,
+        })
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+__all__ = [
+    "CRITPATH_SCHEMA",
+    "CritPathReport",
+    "DagEdge",
+    "DagNode",
+    "DepGraph",
+    "Intervention",
+    "PathStep",
+    "Projection",
+    "ProjectionValidation",
+    "add_csds",
+    "compression_ratio",
+    "condense",
+    "default_interventions",
+    "project",
+    "rank_interventions",
+    "render_projections",
+    "scale",
+    "validate_scale",
+    "write_critpath_jsonl",
+]

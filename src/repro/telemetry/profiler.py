@@ -10,7 +10,8 @@ exposes:
   preferring the sim-time domain and falling back to wall-clock spans
   tagged with ``resource`` attributes;
 * :func:`render_top` — the terminal dashboard: per-link utilization
-  bars, the phase x resource ownership table, and the verdict line;
+  bars, the phase x resource ownership table, the verdict line, and
+  the critical-path pane (:mod:`repro.telemetry.critpath`);
 * :func:`write_events_jsonl` / :func:`record_attribution_metrics` — the
   structured exports (JSONL event log, Prometheus series).
 """
@@ -24,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import TelemetryError
 from .attrib import (Attribution, COMPUTE, PHASE_SPAN_NAMES,
                      attribute, attribute_channels)
+from .critpath import CritPathReport, DepGraph
 from .metrics import MetricsRegistry
 
 #: Schema marker of the JSONL attribution event log.
@@ -38,6 +40,10 @@ class ProfileReport:
     label: str
     attribution: Attribution
     meta: Dict[str, object] = field(default_factory=dict)
+    #: Critical path over the same records the attribution covered;
+    #: ``None`` when the source had no per-operation records to chain
+    #: (attribution can still tile the step from aggregate windows).
+    critpath: Optional[CritPathReport] = None
 
 
 def profile_scenario(model: str = "gpt2-4.0b", csds: int = 10,
@@ -59,13 +65,16 @@ def profile_scenario(model: str = "gpt2-4.0b", csds: int = 10,
     attribution = attribute_channels(trace.phase_windows,
                                      trace.fabric.all_channels(),
                                      horizon=trace.breakdown.total)
+    graph = DepGraph.from_channels(trace.fabric.all_channels(),
+                                   trace.phase_windows)
     return ProfileReport(
         source="sim",
         label=f"{model}/{method} ({csds} CSDs, {gpu})",
         attribution=attribution,
         meta={"model": model, "method": method, "csds": csds,
               "gpu": gpu, "ratio": ratio,
-              "iteration_seconds": trace.breakdown.total})
+              "iteration_seconds": trace.breakdown.total},
+        critpath=graph.critical_path() if graph.nodes else None)
 
 
 def load_chrome_trace(path: str) -> ProfileReport:
@@ -118,13 +127,19 @@ def load_chrome_trace(path: str) -> ProfileReport:
     if sim_phases:
         attribution = attribute(sim_phases, sim_busy,
                                 bytes_by_resource=sim_bytes)
-        return ProfileReport(source="trace", label=path,
-                             attribution=attribution, meta=meta)
+        graph = DepGraph.from_intervals(sim_busy, sim_phases)
+        return ProfileReport(
+            source="trace", label=path, attribution=attribution,
+            meta=meta,
+            critpath=graph.critical_path() if graph.nodes else None)
     if wall_phases:
         attribution = attribute(wall_phases, wall_busy,
                                 bytes_by_resource=wall_bytes)
-        return ProfileReport(source="trace", label=path,
-                             attribution=attribution, meta=meta)
+        graph = DepGraph.from_intervals(wall_busy, wall_phases)
+        return ProfileReport(
+            source="trace", label=path, attribution=attribution,
+            meta=meta,
+            critpath=graph.critical_path() if graph.nodes else None)
     raise TelemetryError(
         f"trace {path!r} has neither sim-phase windows nor wall-clock "
         f"phase spans — nothing to attribute")
@@ -174,6 +189,12 @@ def render_top(report: ProfileReport, top: int = 12,
             lines.append(f"  {phase:<16} {resource:<22} "
                          f"{seconds:>9.3f} {share:>7.1%}")
     lines.append(verdict.render())
+
+    if report.critpath is not None:
+        lines.append(report.critpath.render())
+    else:
+        lines.append("critical path: no dependency data (source has no "
+                     "per-operation records to chain)")
 
     from .health import evaluate_attribution
     checked = evaluate_attribution(attribution, rules=slo_rules)

@@ -1,3 +1,26 @@
-"""Single source of truth for the package version."""
+"""Single source of truth for the package version.
 
-__version__ = "1.0.0"
+The canonical version lives in ``pyproject.toml``; an installed package
+reads it back through :mod:`importlib.metadata`, so bumping the project
+file is the whole release step.  Source-tree runs (``PYTHONPATH=src``
+with no install, the way the test suite and CI run) have no
+distribution metadata — they fall back to the literal below, which is
+kept in sync with ``pyproject.toml``.
+"""
+
+try:
+    from importlib.metadata import PackageNotFoundError, version
+except ImportError:  # pragma: no cover - Python < 3.8 has neither
+    PackageNotFoundError = Exception  # type: ignore[assignment,misc]
+    version = None  # type: ignore[assignment]
+
+#: Fallback for uninstalled source-tree runs; mirrors pyproject.toml.
+_FALLBACK_VERSION = "1.0.0"
+
+if version is None:
+    __version__ = _FALLBACK_VERSION
+else:
+    try:
+        __version__ = version("repro")
+    except PackageNotFoundError:
+        __version__ = _FALLBACK_VERSION

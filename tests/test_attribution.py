@@ -300,3 +300,51 @@ def test_events_jsonl_schema_and_conservation(tmp_path):
                    for line in lines if line["type"] == "utilization"}
     assert verdict["resource"] in utilization
     assert verdict["utilization"] == max(utilization.values())
+
+
+# ----------------------------------------------------------------------
+# process backend: conservation holds on a real multi-process run
+# ----------------------------------------------------------------------
+
+def test_conservation_under_process_backend(tmp_path):
+    """Wall-clock attribution conserves when shards run in worker
+    processes — spans recorded around cross-process dispatch must still
+    tile the step exactly."""
+    import numpy as np
+
+    from repro import telemetry as tel
+    from repro.runtime import SmartInfinityEngine, TrainingConfig
+
+    from repro.nn import SequenceClassifier, bert_config
+
+    model = SequenceClassifier(
+        bert_config(vocab_size=16, dim=32, num_layers=1, num_heads=2,
+                    max_seq_len=8),
+        num_classes=2, seed=0)
+    config = TrainingConfig(optimizer="adam",
+                            optimizer_kwargs={"lr": 1e-2},
+                            subgroup_elements=512,
+                            num_csds=2,
+                            parallel_backend="process",
+                            parallel_csds=2)
+    rng = np.random.default_rng(0)
+    tokens = rng.integers(0, 16, size=(4, 8))
+    labels = rng.integers(0, 2, size=4)
+
+    def loss(m, t, y):
+        return m.loss(t, y)
+
+    engine = SmartInfinityEngine(model, loss, str(tmp_path / "proc"),
+                                 config=config)
+    try:
+        with tel.session() as session:
+            engine.train_step(tokens, labels)
+    finally:
+        engine.close()
+
+    attribution = attribute_spans(session.tracer.spans)
+    assert attribution.step_seconds > 0.0
+    assert sum(attribution.buckets.values()) == pytest.approx(
+        attribution.step_seconds, rel=1e-9)
+    assert attribution.conservation_error() <= \
+        1e-9 * attribution.step_seconds

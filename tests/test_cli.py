@@ -306,7 +306,8 @@ def test_bench_report_embeds_health_and_no_flight_flag(tmp_path, capsys):
 # ----------------------------------------------------------------------
 # shared flag vocabulary + the scenario subcommand
 # ----------------------------------------------------------------------
-ENGINE_SUBCOMMANDS = ("top", "health", "trace", "bench", "scenario")
+ENGINE_SUBCOMMANDS = ("top", "health", "trace", "bench", "scenario",
+                      "whatif")
 SHARED_FLAGS = ("--backend", "--workers", "--fault-plan",
                 "--chaos-seed", "--slo")
 
@@ -339,6 +340,78 @@ def test_top_notes_ignored_engine_flags(capsys):
     out = capsys.readouterr().out
     assert "simulation-only" in out
     assert "--backend" in out and "--chaos-seed" in out
+
+
+# ----------------------------------------------------------------------
+# the what-if observatory subcommand
+# ----------------------------------------------------------------------
+
+def test_version_flag_prints_package_version(capsys):
+    from repro.version import __version__
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert f"repro {__version__}" in capsys.readouterr().out
+
+
+def test_whatif_prints_path_and_ranked_projections(capsys):
+    assert main(["whatif", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--method", "su"]) == 0
+    out = capsys.readouterr().out
+    assert "what-if observatory" in out
+    assert "critical path" in out
+    assert "what-if projections (ranked by step-time reduction)" in out
+    assert "add_csds(" in out
+
+
+def test_whatif_explicit_interventions_and_jsonl(tmp_path, capsys):
+    import json
+    jsonl = str(tmp_path / "critpath.jsonl")
+    assert main(["whatif", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--method", "su_o_c", "--scale", "ssd0-write=1.5",
+                 "--add-csds", "2", "--compression-ratio", "0.01",
+                 "--jsonl", jsonl]) == 0
+    out = capsys.readouterr().out
+    assert "scale(ssd0-write, 1.5)" in out
+    assert f"[critpath events: {jsonl}]" in out
+    with open(jsonl) as handle:
+        lines = [json.loads(line) for line in handle]
+    assert lines[0]["schema"] == "smart-infinity/critpath/v1"
+    assert lines[0]["model"] == "gpt2-1.16b"
+    kinds = {line["type"] for line in lines}
+    assert {"meta", "path_step", "path_resource",
+            "projection"} <= kinds
+
+
+def test_whatif_validate_gates_projection_error(capsys):
+    assert main(["whatif", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--method", "su_o_c", "--scale", "ssd0-write=1.5",
+                 "--validate", "--max-error", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "validate scale(ssd0-write, 1.5)" in out
+    assert "PASS" in out
+    assert "within 5% of the DES re-run" in out
+
+
+def test_whatif_rejects_bad_scale_syntax(capsys):
+    assert main(["whatif", "--scale", "nonsense"]) == 2
+    assert "invalid --scale" in capsys.readouterr().out
+
+
+def test_whatif_rejects_unknown_channel(capsys):
+    assert main(["whatif", "--csds", "2",
+                 "--scale", "warp-core=0.5"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown channel" in out
+    assert "host-link-down" in out
+
+
+def test_whatif_notes_ignored_engine_flags(capsys):
+    assert main(["whatif", "--model", "gpt2-1.16b", "--csds", "2",
+                 "--method", "su", "--backend", "process"]) == 0
+    out = capsys.readouterr().out
+    assert "simulation-only" in out
+    assert "--backend" in out
 
 
 def _tiny_scenario_doc(name="tiny", **extra):

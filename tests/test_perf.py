@@ -99,6 +99,28 @@ def test_fabric_rejects_bad_efficiency():
         Fabric(Simulator(), default_system(2), p2p_efficiency=1.5)
 
 
+def test_fabric_channel_scales_rescale_bandwidth():
+    base = Fabric(Simulator(), default_system(2))
+    scaled = Fabric(Simulator(), default_system(2),
+                    channel_scales={"host-link-down": 2.0,
+                                    "ssd0-write": 0.5})
+    assert scaled.link_down.bandwidth == pytest.approx(
+        2.0 * base.link_down.bandwidth)
+    assert scaled.devices[0].nand_write.bandwidth == pytest.approx(
+        0.5 * base.devices[0].nand_write.bandwidth)
+    # Untouched channels keep their catalog bandwidth.
+    assert scaled.link_up.bandwidth == base.link_up.bandwidth
+
+
+def test_fabric_channel_scales_reject_unknown_or_nonpositive():
+    with pytest.raises(HardwareConfigError, match="names no channel"):
+        Fabric(Simulator(), default_system(2),
+               channel_scales={"warp-core": 2.0})
+    with pytest.raises(HardwareConfigError):
+        Fabric(Simulator(), default_system(2),
+               channel_scales={"host-link-down": 0.0})
+
+
 # ----------------------------------------------------------------------
 # scenario invariants
 # ----------------------------------------------------------------------
