@@ -84,6 +84,15 @@ def create_engine(mode: str, model: Module, loss_fn: LossFn,
     ``"auto"``): the process backend runs one worker process per CSD
     with optimizer shards in shared memory, scaling past the GIL while
     keeping the training output bit-identical to the thread pool.
+
+    Two further knobs shape the step without changing a trained bit:
+    ``config.schedule`` (``"phased"`` | ``"interleaved"`` — the latter
+    overlaps per-block gradient offload + update with the rest of
+    backprop via a bounded ready queue) and
+    ``config.activation_offload`` (``"recompute"`` | ``"spill"`` |
+    ``"auto"`` — spill boundary activations to storage with async
+    prefetch instead of recomputing; ``auto`` spills exactly when the
+    engine owns a ``storage_dir``).
     """
     if mode not in ENGINE_MODES:
         raise TrainingError(

@@ -138,6 +138,11 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--optimizer", default="adam")
     simulate.add_argument("--ratio", type=float, default=0.02,
                           help="SmartComp volume ratio")
+    simulate.add_argument("--schedule", default="phased",
+                          choices=("phased", "interleaved"),
+                          help="execution pipeline: phased or "
+                               "interleaved (per-block updates overlap "
+                               "the backward pass)")
     simulate.add_argument("--metrics", action="store_true",
                           help="print a Prometheus-style exposition of "
                                "the simulated channel metrics")
@@ -205,6 +210,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--compression-ratio", type=float, default=None, metavar="R",
         help="project the SmartComp volume ratio changing from --ratio "
              "to R (gradient-offload transfers rescale)")
+    whatif.add_argument(
+        "--interleave", action="store_true",
+        help="project the interleaved schedule from this phased trace "
+             "(per-block updates start as gradients land instead of at "
+             "the offload barrier); with --validate, re-runs the DES "
+             "with schedule=interleaved genuinely applied")
     whatif.add_argument(
         "--top", type=int, default=6, metavar="N",
         help="path resources shown in the critical-path pane "
@@ -379,6 +390,21 @@ def _add_shared_options(subparser) -> None:
         "--slo", default=None, metavar="RULES_JSON",
         help="SLO rules file (examples/slo.json shape) replacing the "
              "built-in rule set")
+    subparser.add_argument(
+        "--schedule", default=None,
+        choices=("phased", "interleaved"),
+        help="execution pipeline: phased (offload barrier, then "
+             "update) or interleaved (per-block offload+update "
+             "enqueued as backprop produces gradients); training "
+             "output is bit-identical either way (default phased)")
+    subparser.add_argument(
+        "--activation-offload", default=None,
+        choices=("recompute", "spill", "auto"),
+        help="boundary-activation policy for checkpointed losses: "
+             "recompute (keep in host memory), spill (write to the "
+             "SSD-backed spill store, async-prefetch before "
+             "backward), or auto (spill when the engine owns "
+             "storage); bit-identical either way (default recompute)")
 
 
 def _resolve_fault_plan(args) -> Optional[FaultPlan]:
@@ -424,11 +450,14 @@ def _cmd_simulate(args) -> int:
                              optimizer=args.optimizer)
     system = default_system(num_csds=args.csds, gpu=_GPUS[args.gpu]())
     trace = trace_scenario(system, workload, args.method,
-                           compression_ratio=args.ratio)
+                           compression_ratio=args.ratio,
+                           schedule=args.schedule)
     breakdown = trace.breakdown
     base = simulate_iteration(system, workload, "baseline")
     print(f"model {args.model}, {args.csds} device(s), {args.gpu}, "
-          f"method {args.method}")
+          f"method {args.method}"
+          + ("" if args.schedule == "phased"
+             else f", {args.schedule} schedule"))
     print(f"  FW              {breakdown.forward:8.3f} s")
     print(f"  BW + grad       {breakdown.backward_grad:8.3f} s")
     print(f"  update + opt    {breakdown.update:8.3f} s")
@@ -480,7 +509,9 @@ def _cmd_top(args) -> int:
     ignored = [flag for flag, value in (
         ("--backend", args.backend), ("--workers", args.workers),
         ("--fault-plan", args.fault_plan),
-        ("--chaos-seed", args.chaos_seed)) if value is not None]
+        ("--chaos-seed", args.chaos_seed),
+        ("--activation-offload", args.activation_offload))
+        if value is not None]
     if ignored:
         print(f"[top is simulation-only; ignoring "
               f"{', '.join(ignored)} — use health/trace/bench/scenario "
@@ -493,7 +524,8 @@ def _cmd_top(args) -> int:
             return telemetry.load_chrome_trace(args.trace)
         return telemetry.profile_scenario(
             model=args.model, csds=args.csds, method=args.method,
-            gpu=args.gpu, ratio=args.ratio)
+            gpu=args.gpu, ratio=args.ratio,
+            schedule=args.schedule or "phased")
 
     def build_frame():
         """(report-or-None, rendered text) — never raises on bad input.
@@ -548,12 +580,19 @@ def _cmd_whatif(args) -> int:
     ignored = [flag for flag, value in (
         ("--backend", args.backend), ("--workers", args.workers),
         ("--fault-plan", args.fault_plan),
-        ("--chaos-seed", args.chaos_seed), ("--slo", args.slo))
+        ("--chaos-seed", args.chaos_seed), ("--slo", args.slo),
+        ("--activation-offload", args.activation_offload))
         if value is not None]
     if ignored:
         print(f"[whatif is simulation-only; ignoring "
               f"{', '.join(ignored)} — use health/trace/bench/scenario "
               "to drive the functional engine]")
+    schedule = args.schedule or "phased"
+    if args.interleave and schedule == "interleaved":
+        print("--interleave projects the schedule change from a phased "
+              "trace; drop --schedule interleaved (the change is "
+              "already applied there)")
+        return 2
 
     scales = []
     for item in args.scale or []:
@@ -571,7 +610,8 @@ def _cmd_whatif(args) -> int:
     workload = make_workload(get_model(args.model))
     system = default_system(num_csds=args.csds, gpu=_GPUS[args.gpu]())
     trace = trace_scenario(system, workload, args.method,
-                           compression_ratio=args.ratio)
+                           compression_ratio=args.ratio,
+                           schedule=schedule)
     graph = telemetry.DepGraph.from_channels(trace.fabric.all_channels(),
                                              trace.phase_windows)
     if not graph.nodes:
@@ -587,7 +627,8 @@ def _cmd_whatif(args) -> int:
 
     report = graph.critical_path()
     print(f"what-if observatory — sim:{args.model}/{args.method} "
-          f"({args.csds} CSDs, {args.gpu})")
+          f"({args.csds} CSDs, {args.gpu}"
+          + ("" if schedule == "phased" else f", {schedule}") + ")")
     print(f"step time {graph.step_seconds:.3f} s")
     print(report.render(top=args.top))
 
@@ -598,6 +639,8 @@ def _cmd_whatif(args) -> int:
     if args.compression_ratio is not None:
         interventions.append(telemetry.compression_ratio(
             args.compression_ratio, baseline=args.ratio))
+    if args.interleave:
+        interventions.append(telemetry.interleave())
     if not interventions:
         interventions = telemetry.default_interventions(
             graph, ratio=args.ratio)
@@ -607,9 +650,20 @@ def _cmd_whatif(args) -> int:
     validations = []
     exit_code = 0
     if args.validate:
-        # Without explicit --scale flags, probe the busiest resource —
-        # the one whose projection a reader is most likely to act on.
-        targets = scales or [(graph.resources()[0], 1.5)]
+        if args.interleave:
+            validation = telemetry.validate_interleave(
+                model=args.model, csds=args.csds, method=args.method,
+                gpu=args.gpu, ratio=args.ratio)
+            validations.append(validation)
+            ok = validation.error <= args.max_error
+            print(("PASS " if ok else "FAIL ") + validation.render())
+            if not ok:
+                exit_code = 1
+        # Without explicit --scale flags (and not in interleave mode),
+        # probe the busiest resource — the one whose projection a
+        # reader is most likely to act on.
+        targets = scales if (scales or args.interleave) \
+            else [(graph.resources()[0], 1.5)]
         for channel, factor in targets:
             validation = telemetry.validate_scale(
                 channel, factor, model=args.model, csds=args.csds,
@@ -628,7 +682,8 @@ def _cmd_whatif(args) -> int:
             validations=validations,
             meta={"source": "sim", "model": args.model,
                   "method": args.method, "csds": args.csds,
-                  "gpu": args.gpu, "ratio": args.ratio})
+                  "gpu": args.gpu, "ratio": args.ratio,
+                  "schedule": schedule})
         print(f"[critpath events: {args.jsonl}]")
     return exit_code
 
@@ -639,7 +694,9 @@ def _run_functional_proxy(num_csds: int, method: str, ratio: float,
                           steps: int = 1,
                           dump_dir: Optional[str] = None,
                           slo_rules: Optional[list] = None,
-                          backend: str = "thread") -> dict:
+                          backend: str = "thread",
+                          schedule: str = "phased",
+                          activation_offload: str = "recompute") -> dict:
     """Train steps of a tiny model through the functional engine.
 
     The proxy exists so the exported trace's wall-clock process contains
@@ -678,6 +735,8 @@ def _run_functional_proxy(num_csds: int, method: str, ratio: float,
         parallel_csds=workers if workers else proxy_csds,
         num_csds=proxy_csds,
         parallel_backend=backend,
+        schedule=schedule,
+        activation_offload=activation_offload,
         fault_plan=fault_plan,
         flight_dump_dir=dump_dir,
         slo_rules=slo_rules)
@@ -701,7 +760,8 @@ def _cmd_trace(args) -> int:
         with telemetry.trace_span("des.simulate", model=args.model,
                                   method=args.method, csds=args.csds):
             trace = trace_scenario(system, workload, args.method,
-                                   compression_ratio=args.ratio)
+                                   compression_ratio=args.ratio,
+                                   schedule=args.schedule or "phased")
         if not args.skip_functional:
             with telemetry.trace_span("functional.proxy",
                                       method=args.method,
@@ -712,7 +772,10 @@ def _cmd_trace(args) -> int:
                     steps=3 if fault_plan is not None else 1,
                     dump_dir="flightrec" if fault_plan is not None
                     else None, slo_rules=_resolve_slo_rules(args),
-                    backend=args.backend or "thread")
+                    backend=args.backend or "thread",
+                    schedule=args.schedule or "phased",
+                    activation_offload=args.activation_offload
+                    or "recompute")
         telemetry.record_channel_metrics(
             session.registry, trace.fabric.all_channels(),
             horizon=trace.breakdown.total, method=args.method)
@@ -790,7 +853,10 @@ def _cmd_health(args) -> int:
                 args.csds, args.method, args.ratio, workers=args.workers,
                 fault_plan=fault_plan, steps=args.steps,
                 dump_dir=args.dump_dir, slo_rules=slo_rules,
-                backend=args.backend or "thread")
+                backend=args.backend or "thread",
+                schedule=args.schedule or "phased",
+                activation_offload=args.activation_offload
+                or "recompute")
 
     if args.watch and not args.once:
         try:
@@ -829,7 +895,10 @@ def _cmd_bench(args) -> int:
                                 flight=not args.no_flight,
                                 backend=args.backend or "thread",
                                 workers=args.workers,
-                                slo_rules=_resolve_slo_rules(args))
+                                slo_rules=_resolve_slo_rules(args),
+                                schedule=args.schedule or "phased",
+                                activation_offload=args.activation_offload
+                                or "recompute")
     print(render_report(report))
     print(f"[saved to {args.out}]")
     if args.compare:
@@ -927,7 +996,8 @@ def _cmd_scenario(args) -> int:
             scenario, workdir=workdir, log_path=log_path,
             backend=args.backend, chaos_seed=args.chaos_seed,
             workers=args.workers, slo_rules=_resolve_slo_rules(args),
-            fault_plan=plan)
+            fault_plan=plan, schedule=args.schedule,
+            activation_offload=args.activation_offload)
 
     if args.action == "replay":
         if len(scenarios) != 1 or args.log is None:

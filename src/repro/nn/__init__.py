@@ -8,6 +8,8 @@ from .data import (ClassificationDataset, GLUE_TASKS, make_classification_datase
 from .models import ModelSpec, ZOO, get_model, models_by_family
 from .modules import (Dropout, Embedding, LayerNorm, Linear, Module,
                       Parameter, Sequential)
+from .offload import (ActivationSpillStore, activation_spill_scope,
+                      active_spill_store, spill_beats_recompute)
 from .parallel import (CommMeter, TensorParallelAttention,
                        TensorParallelMLP, expected_allreduce_bytes)
 from .precision import (LossScaler, clip_gradients, from_fp16,
@@ -20,8 +22,12 @@ from .transformer import (LanguageModel, MultiHeadAttention, SequenceClassifier,
                           gpt2_config, vit_config)
 
 __all__ = [
+    "ActivationSpillStore",
     "ClassificationDataset",
     "CommMeter",
+    "activation_spill_scope",
+    "active_spill_store",
+    "spill_beats_recompute",
     "Dropout",
     "Embedding",
     "GLUE_TASKS",

@@ -19,6 +19,14 @@ with a one-line loss_fn change and keep every equivalence guarantee.
 
 Dropout must be disabled (rate 0) for checkpointed models: recomputation
 would redraw the masks.  :func:`checkpointed_loss` enforces this.
+
+Boundary activations normally stay in host memory between forward and
+backward.  When an activation spill store is active
+(:func:`repro.nn.offload.active_spill_store`, entered by the engines via
+``TrainingConfig.activation_offload``), the forward writes each boundary
+to the SSD-backed spill device instead and the backward async-prefetches
+it one block ahead — same float32 bits either way, so spilled training
+is bit-identical to recompute-mode training.
 """
 
 from __future__ import annotations
@@ -63,16 +71,23 @@ def checkpointed_loss(backbone: TransformerBackbone,
     ``backward()`` (including through a loss-scaling multiply) fills every
     parameter's ``.grad`` — but only one block's graph is ever alive.
     """
+    from .offload import active_spill_store
+
     tokens = np.asarray(tokens)
     _check_no_dropout(backbone)
     blocks = _block_list(backbone)
+    spill = active_spill_store()
 
-    # Forward: no graph, store block-boundary activations.
+    # Forward: no graph, store block-boundary activations — in host
+    # memory, or spilled to the SSD-backed store when one is active.
     boundaries: List[np.ndarray] = []
     with no_grad():
         x = _embed(backbone, tokens)
-        for block in blocks:
-            boundaries.append(x.data)
+        for index, block in enumerate(blocks):
+            if spill is not None:
+                spill.put(index, x.data)
+            else:
+                boundaries.append(x.data)
             x = block(x)
         backbone_out = x.data
 
@@ -87,12 +102,24 @@ def checkpointed_loss(backbone: TransformerBackbone,
         head_loss.backward(grad)
         delta = head_leaf.grad
         # 2. Blocks in reverse: recompute with grad, push delta through.
-        for block, boundary in zip(reversed(blocks),
-                                   reversed(boundaries)):
+        #    In spill mode, boundary i comes off the spill device and
+        #    boundary i-1 is prefetched so its read overlaps this
+        #    block's recompute+backward.
+        if spill is not None:
+            spill.prefetch(len(blocks) - 1)
+        for position in range(len(blocks) - 1, -1, -1):
+            block = blocks[position]
+            if spill is not None:
+                boundary = spill.get(position)
+                spill.prefetch(position - 1)
+            else:
+                boundary = boundaries[position]
             leaf = Tensor(boundary, requires_grad=True)
             out = block(leaf)
             out.backward(delta)
             delta = leaf.grad
+            if spill is not None:
+                spill.release(position)
         # 3. Embedding backward (token + positional tables).
         embed_out = _embed(backbone, tokens)
         embed_out.backward(delta)

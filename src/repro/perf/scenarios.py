@@ -43,6 +43,13 @@ from .workload import Workload
 
 METHODS = ("baseline", "su", "su_o", "su_o_c")
 
+#: Execution schedules.  ``phased`` is the paper's strict
+#: forward -> backward+offload -> update sequence; ``interleaved``
+#: (Deep Optimizer States, PAPERS.md) starts each device's update
+#: pipeline as soon as the gradient blocks it needs have landed, hiding
+#: most of the update phase inside backward.
+SCHEDULES = ("phased", "interleaved")
+
 #: Extension methods beyond the paper's evaluation: "su_o_c_q" adds the
 #: §VIII-B CSD-side int8 quantization of the upstream parameters on top
 #: of SU+O+C, cutting the remaining upstream transfer ~4x.
@@ -119,22 +126,30 @@ def trace_scenario(system: SystemSpec, workload: Workload, method: str,
                    compression_ratio: float = 0.02,
                    num_blocks: int = DEFAULT_NUM_BLOCKS,
                    channel_scales: Optional[Mapping[str, float]] = None,
+                   schedule: str = "phased",
                    ) -> ScenarioTrace:
     """Simulate one iteration and keep its full sim-time timeline.
 
     ``channel_scales`` multiplies named channels' bandwidths — the
     counterfactual hook the critical-path what-if validation uses to
     re-run an iteration with an intervention genuinely applied.
+    ``schedule="interleaved"`` gates per-device update work on the
+    gradient blocks it needs instead of the whole offload barrier; the
+    ``update`` phase window then covers only the residual tail past the
+    last gradient.
     """
     if method not in METHODS + EXTENSION_METHODS:
         raise HardwareConfigError(
             f"unknown method {method!r}; choose from "
             f"{METHODS + EXTENSION_METHODS}")
+    if schedule not in SCHEDULES:
+        raise HardwareConfigError(
+            f"unknown schedule {schedule!r}; choose from {SCHEDULES}")
     sim = Simulator()
     fabric = Fabric(sim, system, channel_scales=channel_scales)
     clock = PhaseClock(sim)
     scenario = _Scenario(sim, fabric, clock, system, workload, method,
-                         compression_ratio, num_blocks)
+                         compression_ratio, num_blocks, schedule)
     sim.process(scenario.iteration(), name=f"iteration-{method}")
     sim.run()
     breakdown = PhaseBreakdown(
@@ -149,6 +164,7 @@ def trace_scenario(system: SystemSpec, workload: Workload, method: str,
 def run_scenario(system: SystemSpec, workload: Workload, method: str,
                  compression_ratio: float = 0.02,
                  num_blocks: int = DEFAULT_NUM_BLOCKS,
+                 schedule: str = "phased",
                  ):
     """Simulate one iteration; returns ``(breakdown, fabric)``.
 
@@ -157,18 +173,19 @@ def run_scenario(system: SystemSpec, workload: Workload, method: str,
     """
     trace = trace_scenario(system, workload, method,
                            compression_ratio=compression_ratio,
-                           num_blocks=num_blocks)
+                           num_blocks=num_blocks, schedule=schedule)
     return trace.breakdown, trace.fabric
 
 
 def simulate_iteration(system: SystemSpec, workload: Workload, method: str,
                        compression_ratio: float = 0.02,
                        num_blocks: int = DEFAULT_NUM_BLOCKS,
+                       schedule: str = "phased",
                        ) -> PhaseBreakdown:
     """Simulate one iteration and return its phase breakdown."""
     breakdown, _fabric = run_scenario(
         system, workload, method, compression_ratio=compression_ratio,
-        num_blocks=num_blocks)
+        num_blocks=num_blocks, schedule=schedule)
     return breakdown
 
 
@@ -177,7 +194,8 @@ class _Scenario:
 
     def __init__(self, sim: Simulator, fabric: Fabric, clock: PhaseClock,
                  system: SystemSpec, workload: Workload, method: str,
-                 compression_ratio: float, num_blocks: int) -> None:
+                 compression_ratio: float, num_blocks: int,
+                 schedule: str = "phased") -> None:
         self.sim = sim
         self.fabric = fabric
         self.clock = clock
@@ -186,6 +204,7 @@ class _Scenario:
         self.method = method
         self.compression_ratio = compression_ratio
         self.num_blocks = num_blocks
+        self.schedule = schedule
         self.num_gpus = len(system.gpus)
         self.gpu = system.gpus[0]
 
@@ -215,8 +234,37 @@ class _Scenario:
     # ------------------------------------------------------------------
     def iteration(self):
         yield from self.forward_phase()
-        yield from self.backward_phase()
-        yield from self.update_phase()
+        if self.schedule == "interleaved":
+            yield from self.interleaved_phase()
+        else:
+            yield from self.backward_phase()
+            yield from self.update_phase()
+
+    def interleaved_phase(self):
+        """Backward with the update pipeline gated per gradient block.
+
+        Each block's offload fires a gate event; the update processes run
+        concurrently with backward, each subgroup waiting only for the
+        cumulative gradient fraction it covers.  The ``backward_grad``
+        window ends when every gradient has landed (as in the phased
+        schedule), so the ``update`` window is only the residual tail the
+        overlap could not hide — phase windows stay disjoint and the
+        attribution conservation invariant holds.
+        """
+        gates = [self.sim.event(f"block{index}-grads")
+                 for index in range(self.num_blocks)]
+        update = self.sim.process(self._gated_update(gates),
+                                  name="interleaved-update")
+        yield from self.backward_phase(gates=gates)
+        self.clock.begin("update")
+        yield update
+        self.clock.end("update")
+
+    def _gated_update(self, gates):
+        if self.method == "baseline":
+            yield from self._baseline_update(gates=gates)
+        else:
+            yield from self._smart_update(gates=gates)
 
     def forward_phase(self):
         self.clock.begin("forward")
@@ -230,7 +278,7 @@ class _Scenario:
             yield self.sim.timeout(per_block)
         self.clock.end("forward")
 
-    def backward_phase(self):
+    def backward_phase(self, gates=None):
         """Backward compute with eager gradient offload per block."""
         self.clock.begin("backward_grad")
         per_block = self._gpu_time(self.workload.backward_flops
@@ -245,17 +293,22 @@ class _Scenario:
         grad_block = grad_bytes / self.num_blocks
 
         offloads = []
-        for _block in range(self.num_blocks):
+        for block in range(self.num_blocks):
             if self.system.gpus_on_expansion:
                 yield self._congested_block_traffic(param_block, act_block)
             yield self.sim.timeout(per_block)
             # The GPU -> pinned-buffer bounce copy serializes with the
             # stream; the storage write itself drains asynchronously.
             yield self.fabric.bounce.transfer(grad_block, tag="bounce")
+            gate = gates[block] if gates is not None else None
             offloads.append(self.sim.process(
-                self._offload_block(grad_block), name="grad-offload"))
-        # The update cannot start until every gradient has landed (the
-        # loss-scale scan and global-norm clipping need them all).
+                self._offload_block(grad_block, gate=gate),
+                name="grad-offload"))
+        # In the phased schedule the update cannot start until every
+        # gradient has landed (the loss-scale scan and global-norm
+        # clipping need them all); the interleaved schedule resolves the
+        # verdict up front, so the gates release per-block work early,
+        # but the phase boundary still sits at the last landing.
         yield self.sim.all_of(offloads)
         self.clock.end("backward_grad")
 
@@ -270,8 +323,10 @@ class _Scenario:
             for index in range(self.fabric.num_devices)
         ])
 
-    def _offload_block(self, nbytes: float):
+    def _offload_block(self, nbytes: float, gate=None):
         yield self._offload_transfer(nbytes)
+        if gate is not None:
+            gate.succeed()
 
     def update_phase(self):
         self.clock.begin("update")
@@ -284,7 +339,7 @@ class _Scenario:
     # ------------------------------------------------------------------
     # baseline update: RAID read -> CPU AVX -> RAID write, depth-2 pipeline
     # ------------------------------------------------------------------
-    def _baseline_update(self):
+    def _baseline_update(self, gates=None):
         read_block = self.workload.update_read_bytes / self.num_blocks
         write_block = self.workload.update_write_bytes / self.num_blocks
         touched_block = self.workload.update_touched_bytes / self.num_blocks
@@ -297,7 +352,9 @@ class _Scenario:
             slots.release()
 
         blocks = []
-        for _block in range(self.num_blocks):
+        for block in range(self.num_blocks):
+            if gates is not None:
+                yield gates[block]
             yield slots.acquire()
             blocks.append(self.sim.process(block_update(),
                                            name="baseline-block"))
@@ -306,17 +363,31 @@ class _Scenario:
     # ------------------------------------------------------------------
     # SmartUpdate family: per-CSD near-storage update
     # ------------------------------------------------------------------
-    def _smart_update(self):
+    def _smart_update(self, gates=None):
+        if gates is not None:
+            # Interleaved: the fleet spins up once the first gradient
+            # block has landed, not at the offload barrier.
+            yield gates[0]
         # Host-side OpenCL/driver overhead for driving the CSD fleet.
         yield self.sim.timeout(CSD_BASE_OVERHEAD)
         devices = [
-            self.sim.process(self._device_update(index),
+            self.sim.process(self._device_update(index, gates=gates),
                              name=f"csd{index}-update")
             for index in range(self.fabric.num_devices)
         ]
         yield self.sim.all_of(devices)
 
-    def _device_update(self, index: int):
+    def _gate_for_subgroup(self, sub: int, nsub: int) -> int:
+        """Last gradient block subgroup ``sub`` of ``nsub`` depends on.
+
+        Subgroup ``sub`` covers the flat-parameter fraction
+        ``(sub, sub+1] / nsub``; its update may start once the gradient
+        blocks covering that fraction have been offloaded.
+        """
+        block = -(-(sub + 1) * self.num_blocks // nsub) - 1
+        return min(self.num_blocks - 1, max(0, block))
+
+    def _device_update(self, index: int, gates=None):
         """One CSD's shard update across its subgroups."""
         workload = self.workload
         n = self.fabric.num_devices
@@ -381,7 +452,11 @@ class _Scenario:
             slots.release()
 
         tasks = []
-        for _sub in range(nsub):
+        for sub in range(nsub):
+            if gates is not None:
+                # Interleaved: wait for the gradient blocks this
+                # subgroup's slice of the shard depends on.
+                yield gates[self._gate_for_subgroup(sub, nsub)]
             yield slots.acquire()
             # Host-side mediation per tasklet serializes on the device's
             # driver thread before the subgroup's transfers can start.

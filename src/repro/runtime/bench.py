@@ -114,6 +114,13 @@ class BenchRun:
     #: when the probe produced no resource spans.  Probing outside the
     #: timed region keeps the regression gate's numbers untouched.
     critpath: Optional[Dict[str, object]] = None
+    #: Execution schedule the run used (``phased`` or ``interleaved``).
+    #: Recorded per run so the bench history never folds an interleaved
+    #: run into a phased median baseline (they are different pipelines).
+    schedule: str = "phased"
+    #: Activation policy (``recompute``/``spill``/``auto``) — same
+    #: fingerprint rationale as :attr:`schedule`.
+    activation_offload: str = "recompute"
 
 
 def _loss_fn(model, tokens, labels):
@@ -143,13 +150,16 @@ def _condense_health(summary: Dict[str, object]) -> Dict[str, object]:
 def _run_one(workload: BenchWorkload, num_csds: int, workers: int,
              fault_plan: Optional[FaultPlan] = None,
              flight: bool = True, backend: str = "thread",
-             slo_rules: Optional[List[Dict]] = None) -> BenchRun:
+             slo_rules: Optional[List[Dict]] = None,
+             schedule: str = "phased",
+             activation_offload: str = "recompute") -> BenchRun:
     config = TrainingConfig(
         optimizer="adam", optimizer_kwargs={"lr": 1e-3},
         subgroup_elements=workload.subgroup_elements,
         kernel_chunk_elements=workload.kernel_chunk_elements,
         parallel_csds=workers, num_csds=num_csds,
         parallel_backend=backend,
+        schedule=schedule, activation_offload=activation_offload,
         fault_plan=fault_plan, flight_recorder=flight,
         slo_rules=slo_rules)
     resolved_backend = resolve_backend(backend, workers)
@@ -188,7 +198,9 @@ def _run_one(workload: BenchWorkload, num_csds: int, workers: int,
         param_checksum=_checksum(params),
         faults=fault_stats,
         health=health,
-        critpath=critpath)
+        critpath=critpath,
+        schedule=schedule,
+        activation_offload=activation_offload)
 
 
 def _measure_smartcomp_cache(workload: BenchWorkload,
@@ -239,6 +251,8 @@ def run_parallel_bench(quick: bool = False,
                        backend: str = "thread",
                        workers: Optional[int] = None,
                        slo_rules: Optional[List[Dict]] = None,
+                       schedule: str = "phased",
+                       activation_offload: str = "recompute",
                        ) -> Dict[str, object]:
     """Run the full benchmark matrix and (optionally) write the report.
 
@@ -251,6 +265,13 @@ def run_parallel_bench(quick: bool = False,
     ``fault_plan`` the check still holds: fault streams are keyed per
     device, not per thread or process, so chaos is schedule-independent.
     ``slo_rules`` replaces the default SLO rule set on every run.
+
+    ``schedule`` selects the phased or interleaved execution pipeline
+    and ``activation_offload`` the boundary-activation policy; both are
+    applied to every run in the matrix (sequential references included)
+    and stamped into the report's environment fingerprint so the bench
+    history never compares an interleaved trajectory against a phased
+    baseline.
     """
     workload = QUICK_WORKLOAD if quick else FULL_WORKLOAD
     if steps is not None:
@@ -264,14 +285,17 @@ def run_parallel_bench(quick: bool = False,
     for num_csds in csd_counts:
         sequential = _run_one(workload, num_csds, workers=1,
                               fault_plan=fault_plan, flight=flight,
-                              slo_rules=slo_rules)
+                              slo_rules=slo_rules, schedule=schedule,
+                              activation_offload=activation_offload)
         runs.append(sequential)
         if num_csds == 1:
             continue
         parallel = _run_one(workload, num_csds,
                             workers=workers or num_csds,
                             fault_plan=fault_plan, flight=flight,
-                            backend=backend, slo_rules=slo_rules)
+                            backend=backend, slo_rules=slo_rules,
+                            schedule=schedule,
+                            activation_offload=activation_offload)
         runs.append(parallel)
         if parallel.param_checksum != sequential.param_checksum:
             raise AssertionError(
@@ -296,6 +320,8 @@ def run_parallel_bench(quick: bool = False,
             "usable_cpus": usable_cpus(),
             "platform": platform.platform(),
             "python": platform.python_version(),
+            "schedule": schedule,
+            "activation_offload": activation_offload,
         },
         "workload": asdict(workload),
         "runs": [asdict(run) for run in runs],
@@ -334,10 +360,14 @@ def render_report(report: Dict[str, object]) -> str:
     """Human-readable summary of a benchmark report."""
     lines = []
     env = report["environment"]
+    schedule = env.get("schedule", "phased")
+    act = env.get("activation_offload", "recompute")
+    pipeline = "" if schedule == "phased" and act == "recompute" else \
+        f", {schedule} schedule/{act} activations"
     lines.append(f"wall-clock parallel bench "
                  f"({'quick' if report['quick'] else 'full'} workload, "
                  f"{report.get('backend', 'thread')} backend, "
-                 f"{env['usable_cpus']} usable cpu(s))")
+                 f"{env['usable_cpus']} usable cpu(s){pipeline})")
     lines.append(f"{'csds':>5} {'workers':>8} {'backend':>8} "
                  f"{'steps/s':>10} {'wall s':>9}")
     for run in report["runs"]:

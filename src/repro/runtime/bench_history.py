@@ -47,12 +47,22 @@ def _config_key(run: Dict[str, object]) -> str:
 
     Thread and process runs of the same geometry are different
     benchmarks (one is GIL-bound, one is not), so they must never share
-    a baseline; runs predating the backend field are thread runs.
+    a baseline; runs predating the backend field are thread runs.  The
+    same goes for the execution pipeline: an interleaved run
+    (``+interleaved``) or a spilled-activation run (``~spill``) must
+    never feed a phased/recompute median — runs predating those fields
+    are phased/recompute runs.
     """
     key = f"{run['num_csds']}x{run['workers']}"
     backend = run.get("backend", "thread")
     if backend != "thread":
         key += f"@{backend}"
+    schedule = run.get("schedule", "phased")
+    if schedule != "phased":
+        key += f"+{schedule}"
+    activation = run.get("activation_offload", "recompute")
+    if activation != "recompute":
+        key += f"~{activation}"
     return key
 
 
@@ -125,7 +135,8 @@ def save_history(path: str, history: Dict[str, object]) -> str:
 def _matches(entry: Dict[str, object],
              candidate: Dict[str, object]) -> bool:
     """Same benchmark on like hardware: quick flag, workload shape,
-    and environment fingerprint (core counts) must all agree."""
+    and environment fingerprint (core counts, active schedule and
+    activation mode) must all agree."""
     if bool(candidate.get("quick")) != bool(entry.get("quick")):
         return False
     if candidate.get("workload") != entry.get("workload"):
@@ -133,7 +144,11 @@ def _matches(entry: Dict[str, object],
     env, ref = candidate.get("environment", {}), entry.get(
         "environment", {})
     return (env.get("cpu_count") == ref.get("cpu_count")
-            and env.get("usable_cpus") == ref.get("usable_cpus"))
+            and env.get("usable_cpus") == ref.get("usable_cpus")
+            and env.get("schedule", "phased")
+            == ref.get("schedule", "phased")
+            and env.get("activation_offload", "recompute")
+            == ref.get("activation_offload", "recompute"))
 
 
 @dataclass

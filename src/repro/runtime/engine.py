@@ -102,6 +102,20 @@ class TrainingConfig:
     #: ... and the host-DRAM budget of the host-offload engine (None =
     #: unchecked).
     host_memory_bytes: Optional[int] = None
+    #: Step schedule: ``phased`` (forward -> backward -> offload barrier
+    #: -> update barrier) or ``interleaved`` (each block/device's
+    #: offload+update chain is enqueued the moment its gradients exist,
+    #: riding inside the backward/offload span — see
+    #: :mod:`repro.runtime.interleave`).  Bit-identical results either
+    #: way (tested, including under chaos).
+    schedule: str = "phased"
+    #: Boundary-activation handling for checkpointed training:
+    #: ``recompute`` keeps boundaries in host memory (classic activation
+    #: checkpointing), ``spill`` writes them to an SSD-backed spill
+    #: device during forward and async-prefetches them ahead of backward
+    #: (:mod:`repro.nn.offload`), ``auto`` lets the engine pick spill
+    #: exactly when it owns a storage directory to spill to.
+    activation_offload: str = "recompute"
     #: Fault-injection plan for the storage/CSD fleet (None = no faults).
     #: See :mod:`repro.faults` for the failure model.
     fault_plan: Optional[FaultPlan] = None
@@ -266,6 +280,15 @@ class MixedPrecisionTrainer:
         self.loss_history: List[float] = []
         self._lr_schedule: Optional[Callable[[int], float]] = None
 
+        # Execution schedule + activation handling (validated here so a
+        # typo fails loudly on every engine).  The spill store is
+        # installed by engines that own a storage directory, via
+        # _init_activation_offload.
+        from .interleave import resolve_schedule
+        self.schedule = resolve_schedule(config)
+        self.activation_offload = "recompute"
+        self._spill = None
+
         # Step-health monitoring + SLO rules (repro.telemetry.health):
         # fed once per step by _run_step, evaluated immediately after.
         self.health = StepHealthMonitor()
@@ -295,6 +318,32 @@ class MixedPrecisionTrainer:
     @property
     def num_params(self) -> int:
         return self.space.total_elements
+
+    # ------------------------------------------------------------------
+    # activation spill (SSD-backed boundary activations, repro.nn.offload)
+    # ------------------------------------------------------------------
+    def _init_activation_offload(self,
+                                 storage_dir: Optional[str]) -> None:
+        """Resolve the activation mode and build the spill store.
+
+        Engines call this once they know whether they own a storage
+        directory; ``auto`` resolves to spill exactly when they do.
+        """
+        from .interleave import make_spill_store, resolve_activation_offload
+        self.activation_offload = resolve_activation_offload(
+            self.config, storage_dir is not None)
+        if self.activation_offload == "spill":
+            self._spill = make_spill_store(self.config, storage_dir)
+
+    def _activation_scope(self):
+        """Context activating the spill store for checkpointed forwards."""
+        from .interleave import activation_scope
+        return activation_scope(self._spill)
+
+    def _close_spill(self) -> None:
+        if self._spill is not None:
+            self._spill.close()
+            self._spill = None
 
     def fault_stats(self) -> Dict[str, object]:
         """Cumulative fault/resilience accounting for this engine.
@@ -490,14 +539,15 @@ class MixedPrecisionTrainer:
         Clipping is applied in place when no overflow occurred.
         """
         self.model.zero_grad()
-        loss = self.loss_fn(self.model, *batch)
-        # Overflow in the scaled backward pass is the signal the loss
-        # scaler exists to catch; silence numpy's warning for it.
-        with np.errstate(over="ignore", invalid="ignore"):
-            scaled = loss * float(self.scaler.scale)
-            scaled.backward()
-            flat_grads = self.space.gather_grads()
-            flat_grads *= np.float32(1.0 / self.scaler.scale)
+        with self._activation_scope():
+            loss = self.loss_fn(self.model, *batch)
+            # Overflow in the scaled backward pass is the signal the loss
+            # scaler exists to catch; silence numpy's warning for it.
+            with np.errstate(over="ignore", invalid="ignore"):
+                scaled = loss * float(self.scaler.scale)
+                scaled.backward()
+                flat_grads = self.space.gather_grads()
+                flat_grads *= np.float32(1.0 / self.scaler.scale)
         overflow = has_overflow([flat_grads])
         norm = 0.0
         if not overflow:
@@ -519,12 +569,13 @@ class MixedPrecisionTrainer:
         overflow = False
         for batch in batches:
             self.model.zero_grad()
-            loss = self.loss_fn(self.model, *batch)
-            with np.errstate(over="ignore", invalid="ignore"):
-                scaled = loss * float(self.scaler.scale)
-                scaled.backward()
-                flat = self.space.gather_grads()
-                flat *= np.float32(1.0 / self.scaler.scale)
+            with self._activation_scope():
+                loss = self.loss_fn(self.model, *batch)
+                with np.errstate(over="ignore", invalid="ignore"):
+                    scaled = loss * float(self.scaler.scale)
+                    scaled.backward()
+                    flat = self.space.gather_grads()
+                    flat *= np.float32(1.0 / self.scaler.scale)
             total_loss += float(loss.item())
             overflow = overflow or has_overflow([flat])
             combined = flat if combined is None else combined + flat
@@ -557,6 +608,11 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
         self.faults = make_fault_injector(config)
         self._closed = False
         self.volume: Optional[RAID0Volume] = None
+        try:
+            self._init_activation_offload(storage_dir)
+        except BaseException:
+            self._teardown_flight()
+            raise
 
         # Open members one by one so a failure mid-construction can
         # release every device already opened (no leaked descriptors).
@@ -597,6 +653,7 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
                 member.close()
             self._closed = True
             self._teardown_flight()
+            self._close_spill()
             raise
 
     # ------------------------------------------------------------------
@@ -611,7 +668,8 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
 
     def _step_impl(self, batches: Sequence[Sequence[np.ndarray]]
                    ) -> StepResult:
-        with telemetry.trace_span("iteration", engine="baseline") as span:
+        with telemetry.trace_span("iteration", engine="baseline",
+                                  schedule=self.schedule) as span:
             self.meter.begin_iteration()
             with telemetry.trace_span("forward_backward"):
                 if len(batches) == 1:
@@ -620,6 +678,10 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
                 else:
                     loss, flat_grads, norm, overflow = \
                         self.forward_backward_many(batches)
+
+            if self.schedule == "interleaved":
+                return self._finish_interleaved(span, loss, flat_grads,
+                                                norm, overflow)
 
             # Gradient offload happens during backward, before the overflow
             # verdict is known (the real engine streams them out eagerly).
@@ -644,6 +706,47 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
         return StepResult(step=self.step_count, loss=loss, grad_norm=norm,
                           overflow=overflow, traffic=traffic)
 
+    def _finish_interleaved(self, span, loss: float,
+                            flat_grads: np.ndarray, norm: float,
+                            overflow: bool) -> StepResult:
+        """Interleaved tail of a step: per-block offload+update chains.
+
+        The overflow verdict is known before any offload I/O starts (the
+        scaler only reads the backward's NaN scan), so each block's
+        gradient write can be chained immediately with that block's CPU
+        update instead of waiting for the whole-array offload barrier.
+        Per-block I/O ops hit the same offsets with the same bytes in
+        the same relative order as the phased path, so results (and
+        fault op-counting per device) are bit-identical.
+        """
+        proceed = self.scaler.update(overflow)
+        if proceed:
+            self.step_count += 1
+            self._apply_lr_schedule()
+        total = self.space.total_elements
+        size = self.config.subgroup_elements
+        names = self._state_names
+        with telemetry.trace_span("interleaved_update", proceed=proceed):
+            with scratch_buffers(min(size, total), 2 + len(names)) \
+                    as blocks:
+                for start in range(0, total, size):
+                    count = min(size, total - start)
+                    with telemetry.trace_span(
+                            "grad_offload.block", start=start,
+                            resource="host-link-down", nbytes=4 * count):
+                        self.store.write_slice(
+                            "grads", start, flat_grads[start:start + count])
+                    self.meter.add_host_write(4 * count)
+                    if proceed:
+                        self._update_block(start, count, blocks)
+        traffic = self.meter.end_iteration()
+        self.loss_history.append(loss)
+        span.set(step=self.step_count, loss=loss, overflow=overflow,
+                 host_reads=traffic.host_reads,
+                 host_writes=traffic.host_writes)
+        return StepResult(step=self.step_count, loss=loss, grad_norm=norm,
+                          overflow=overflow, traffic=traffic)
+
     def _cpu_update(self) -> None:
         """Block-wise upload -> AVX update -> offload (Fig. 4a).
 
@@ -653,42 +756,47 @@ class BaselineOffloadEngine(MixedPrecisionTrainer):
         written back — zero per-block ndarray allocation at steady state.
         """
         total = self.space.total_elements
-        step = self.step_count
         size = self.config.subgroup_elements
         names = self._state_names
         with scratch_buffers(min(size, total), 2 + len(names)) as blocks:
             for start in range(0, total, size):
                 count = min(size, total - start)
-                with telemetry.trace_span("cpu_update.block", start=start,
-                                          elements=count,
-                                          resource="host-cpu"):
-                    grads = self.store.read_slice_into(
-                        "grads", start, count, blocks[0])
-                    masters = self.store.read_slice_into(
-                        "master_params", start, count, blocks[1])
-                    state = {
-                        name: self.store.read_slice_into(
-                            name, start, count, block)
-                        for name, block in zip(names, blocks[2:])
-                    }
-                    self.meter.add_host_read(4 * count * (2 + len(names)))
+                self._update_block(start, count, blocks)
 
-                    self.optimizer.step(masters, grads, state, step)
+    def _update_block(self, start: int, count: int, blocks) -> None:
+        """One block's upload -> update -> offload against the scratch
+        buffers (shared by the phased and interleaved schedules)."""
+        names = self._state_names
+        with telemetry.trace_span("cpu_update.block", start=start,
+                                  elements=count,
+                                  resource="host-cpu"):
+            grads = self.store.read_slice_into(
+                "grads", start, count, blocks[0])
+            masters = self.store.read_slice_into(
+                "master_params", start, count, blocks[1])
+            state = {
+                name: self.store.read_slice_into(
+                    name, start, count, block)
+                for name, block in zip(names, blocks[2:])
+            }
+            self.meter.add_host_read(4 * count * (2 + len(names)))
 
-                    self.store.write_slice("master_params", start, masters)
-                    for name in names:
-                        self.store.write_slice(name, start, state[name])
-                    self.meter.add_host_write(4 * count * (1 + len(names)))
+            self.optimizer.step(masters, grads, state, self.step_count)
 
-                    # Refresh the FP16 working copy from the updated
-                    # masters.
-                    self.space.install_fp16_slice(start, masters)
+            self.store.write_slice("master_params", start, masters)
+            for name in names:
+                self.store.write_slice(name, start, state[name])
+            self.meter.add_host_write(4 * count * (1 + len(names)))
+
+            # Refresh the FP16 working copy from the updated masters.
+            self.space.install_fp16_slice(start, masters)
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
         self._teardown_flight()
+        self._close_spill()
         if self.volume is not None:
             self.volume.close()
 

@@ -32,6 +32,7 @@ from ..nn.modules import Module
 from ..telemetry import flight
 from .engine import (LossFn, MixedPrecisionTrainer, StepResult,
                      TrainingConfig)
+from .interleave import InterleavedScheduler
 from .parallel import (CSDWorkerPool, ProcessCSDWorkerPool,
                        resolve_backend, resolve_workers)
 from .stats import TrafficMeter
@@ -60,6 +61,13 @@ class HostOffloadEngine(MixedPrecisionTrainer):
                 f"is {host_memory_bytes} B — this is exactly the wall "
                 "storage-offloaded training exists to break")
         self.meter = TrafficMeter()
+        # No storage directory here, so activation_offload=auto resolves
+        # to recompute (and explicit spill is rejected loudly).
+        try:
+            self._init_activation_offload(None)
+        except BaseException:
+            self._teardown_flight()
+            raise
         # Update blocks are the shard analogue here: disjoint flat
         # slices of host-resident state, so they fan out over the same
         # worker pool the CSD engine uses.
@@ -67,6 +75,7 @@ class HostOffloadEngine(MixedPrecisionTrainer):
         self.workers = resolve_workers(config.parallel_csds, num_blocks)
         self.backend = resolve_backend(config.parallel_backend,
                                        self.workers)
+        self._interleave: Optional[InterleavedScheduler] = None
         self._arena: Optional[SharedMemoryArena] = None
         self._layout: Optional[dict] = None
         self._grads_shm: Optional[np.ndarray] = None
@@ -107,6 +116,8 @@ class HostOffloadEngine(MixedPrecisionTrainer):
             self._state = self.optimizer.init_state(total)
             self._pool = CSDWorkerPool(self.workers,
                                        name_prefix="host-worker")
+            if self.schedule == "interleaved":
+                self._interleave = InterleavedScheduler(self._pool)
         self.space.install_fp16_params(self._masters)
 
     def train_step(self, *batch: np.ndarray) -> StepResult:
@@ -131,7 +142,15 @@ class HostOffloadEngine(MixedPrecisionTrainer):
             if proceed:
                 self.step_count += 1
                 self._apply_lr_schedule()
-                with telemetry.trace_span("update"):
+                # There is no offload phase to hide the update inside
+                # here; the interleaved schedule routes the blocks
+                # through the ready-queue scheduler (submission-ordered
+                # with bounded in-flight window) under its own phase
+                # span, keeping the two schedules attributable apart.
+                span_name = ("interleaved_update"
+                             if self.schedule == "interleaved"
+                             else "update")
+                with telemetry.trace_span(span_name):
                     with telemetry.trace_span("host_update",
                                               resource="host-cpu"):
                         self._cpu_update(flat_grads)
@@ -170,7 +189,10 @@ class HostOffloadEngine(MixedPrecisionTrainer):
             self.space.install_fp16_slice(start,
                                           self._masters[start:stop])
 
-        self._pool.map_ordered(update_block, range(0, total, size))
+        if self._interleave is not None:
+            self._interleave.run(update_block, range(0, total, size))
+        else:
+            self._pool.map_ordered(update_block, range(0, total, size))
 
     def _cpu_update_process(self, flat_grads: np.ndarray, total: int,
                             size: int) -> None:
@@ -211,3 +233,9 @@ class HostOffloadEngine(MixedPrecisionTrainer):
         self._pool.close()
         if self._arena is not None:
             self._arena.close()
+
+    def __enter__(self) -> "HostOffloadEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -325,6 +325,30 @@ class _ShardWorker:
         self._finish_traffic(resp, snapshot)
         return resp
 
+    def step(self, step_count: int, lr: float,
+             do_update: bool) -> Dict[str, object]:
+        """Fused offload+update for the interleaved schedule.
+
+        Runs this shard's offload and (when the parent's scaler verdict
+        allows) its near-storage update back-to-back in one task, so
+        shard chains overlap freely across worker processes with no
+        offload barrier.  The per-device operation sequence is exactly
+        offload-then-update — identical to the phased two-task protocol
+        — so results and fault streams are bit-identical.
+        """
+        resp = self.offload()
+        if not do_update or self.demoted:
+            return resp
+        upd = self.update(step_count, lr)
+        for key in ("host_write", "host_read", "internal_read",
+                    "internal_write"):
+            resp[key] = int(resp.get(key, 0)) + int(upd.get(key, 0))
+        if upd.get("demoted_now"):
+            for key in ("demoted_now", "recovered", "cause",
+                        "cause_type", "retry_exhausted"):
+                resp[key] = upd[key]
+        return resp
+
     def update(self, step_count: int, lr: float) -> Dict[str, object]:
         """Near-storage update + upstream transfer for this shard."""
         resp = self._base_resp()
@@ -528,6 +552,10 @@ def _shard_task(task: Dict[str, object]) -> Dict[str, object]:
                 f"(init task missing or routed elsewhere)")
         if op == "offload":
             resp = worker.offload()
+        elif op == "step":
+            resp = worker.step(int(task["step_count"]),
+                               float(task["lr"]),
+                               bool(task["do_update"]))
         elif op == "update":
             resp = worker.update(int(task["step_count"]),
                                  float(task["lr"]))
@@ -700,6 +728,19 @@ class ProcessShardCoordinator:
         """Phase 2: near-storage updates; masters come back upstream."""
         return self._run("update", step_count=int(step_count),
                          lr=float(lr))
+
+    def step(self, flat_grads: np.ndarray, step_count: int, lr: float,
+             do_update: bool) -> List[Dict[str, object]]:
+        """Interleaved schedule: one fused offload+update task per shard.
+
+        Gradients go down through the channels once, then each child
+        runs its whole chain; the pool pipelines the per-shard tasks, so
+        an early shard's update overlaps a late shard's offload.
+        """
+        for shard, channel in zip(self.shards, self.channels):
+            np.copyto(channel.grads, flat_grads[shard.start:shard.end])
+        return self._run("step", step_count=int(step_count),
+                         lr=float(lr), do_update=bool(do_update))
 
     # ------------------------------------------------------------------
     # views the engine reads after a step

@@ -51,6 +51,7 @@ from ..optim.base import scratch_buffers
 from .engine import (LossFn, MixedPrecisionTrainer, StepResult,
                      TrainingConfig, fault_bypass, fold_deprecated_kwarg,
                      make_fault_injector)
+from .interleave import InterleavedScheduler
 from .parallel import CSDWorkerPool, resolve_backend, resolve_workers
 from .partition import Shard, distribute_shards
 from .stats import TrafficMeter
@@ -280,6 +281,11 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
             self.workers = resolve_workers(config.parallel_csds, num_csds)
             self.backend = resolve_backend(config.parallel_backend,
                                            self.workers)
+            self._init_activation_offload(storage_dir)
+            # Ready-queue scheduler for schedule=interleaved on the
+            # thread backend (the process backend interleaves through a
+            # fused per-shard task instead — see _step_impl_process).
+            self._interleave: Optional[InterleavedScheduler] = None
 
             masters = self.space.gather_params()
             # §VIII-B extensions: pruning mask over the flat space, and
@@ -315,6 +321,8 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
                     self.workers)
             else:
                 self._pool = CSDWorkerPool(self.workers)
+                if self.schedule == "interleaved":
+                    self._interleave = InterleavedScheduler(self._pool)
                 for shard in self.shards:
                     device = self._build_device(storage_dir, shard)
                     self.devices.append(device)
@@ -402,19 +410,46 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
                     loss, flat_grads, norm, overflow = \
                         self.forward_backward_many(batches)
 
-            with telemetry.trace_span("grad_offload"):
-                compressed_per_device = self._offload_gradients(flat_grads)
+            if self.schedule == "interleaved":
+                # The overflow verdict only needs the backward's NaN
+                # scan, so it is computed *before* any offload I/O;
+                # each device's offload+update chain is then enqueued
+                # immediately — the update phase rides inside the
+                # offload span instead of serializing after a barrier.
+                # Per-device op order is unchanged, so results and
+                # fault streams are bit-identical to phased.
+                proceed = self.scaler.update(overflow)
+                if proceed:
+                    self.step_count += 1
+                    self._apply_lr_schedule()
 
-            proceed = self.scaler.update(overflow)
-            if proceed:
-                self.step_count += 1
-                self._apply_lr_schedule()
-                with telemetry.trace_span("update", workers=self.workers):
-                    self._pool.map_ordered(
-                        lambda index: self._update_device_guarded(
-                            index, compressed_per_device[index],
-                            flat_grads),
-                        range(self.num_csds))
+                def device_chain(index: int) -> None:
+                    compressed = self._offload_device(index, flat_grads)
+                    if proceed:
+                        self._update_device_guarded(index, compressed,
+                                                    flat_grads)
+
+                with telemetry.trace_span("interleaved_update",
+                                          workers=self.workers,
+                                          proceed=proceed):
+                    self._interleave.run(device_chain,
+                                         range(self.num_csds))
+            else:
+                with telemetry.trace_span("grad_offload"):
+                    compressed_per_device = \
+                        self._offload_gradients(flat_grads)
+
+                proceed = self.scaler.update(overflow)
+                if proceed:
+                    self.step_count += 1
+                    self._apply_lr_schedule()
+                    with telemetry.trace_span("update",
+                                              workers=self.workers):
+                        self._pool.map_ordered(
+                            lambda index: self._update_device_guarded(
+                                index, compressed_per_device[index],
+                                flat_grads),
+                            range(self.num_csds))
 
             for device, (reads, writes) in zip(self.devices, snapshots):
                 self.meter.add_internal_read(
@@ -459,38 +494,74 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
                     loss, flat_grads, norm, overflow = \
                         self.forward_backward_many(batches)
 
-            with telemetry.trace_span("grad_offload"):
-                for resp in proc.offload(flat_grads):
-                    self.meter.add_host_write(int(resp["host_write"]))
-                    self._absorb_child_traffic(resp)
-                    if resp.get("demoted_now"):
-                        self._absorb_demotion(resp)
-
-            proceed = self.scaler.update(overflow)
-            if proceed:
-                self.step_count += 1
-                self._apply_lr_schedule()
-                with telemetry.trace_span("update", workers=self.workers):
+            if self.schedule == "interleaved":
+                # Fused per-shard step task: each child runs its
+                # offload+update back-to-back, so shard chains overlap
+                # freely across processes with no offload barrier.  The
+                # scaler verdict is computed first (it only reads the
+                # backward's NaN scan), exactly as on the thread path.
+                proceed = self.scaler.update(overflow)
+                if proceed:
+                    self.step_count += 1
+                    self._apply_lr_schedule()
+                with telemetry.trace_span("interleaved_update",
+                                          workers=self.workers,
+                                          proceed=proceed):
                     recovered = set()
-                    for resp in proc.update(self.step_count,
-                                            self.optimizer.lr):
+                    for resp in proc.step(flat_grads, self.step_count,
+                                          self.optimizer.lr, proceed):
+                        self.meter.add_host_write(int(resp["host_write"]))
                         self.meter.add_host_read(int(resp["host_read"]))
                         self._absorb_child_traffic(resp)
                         if resp.get("demoted_now"):
-                            # The child already salvaged and replayed the
-                            # in-flight pass; absorbing installs the
-                            # recovered FP16 too.
                             self._absorb_demotion(resp)
-                            recovered.add(int(resp["index"]))
-                    for index in range(self.num_csds):
-                        if index in recovered:
-                            continue
-                        if index in self._host_shards:
-                            self._host_update_shard(
-                                index, proc.compressed_view(index),
-                                flat_grads)
-                        else:
-                            self._install_upstream_shard(index)
+                            if resp.get("recovered"):
+                                recovered.add(int(resp["index"]))
+                    if proceed:
+                        for index in range(self.num_csds):
+                            if index in recovered:
+                                continue
+                            if index in self._host_shards:
+                                self._host_update_shard(
+                                    index, proc.compressed_view(index),
+                                    flat_grads)
+                            else:
+                                self._install_upstream_shard(index)
+            else:
+                with telemetry.trace_span("grad_offload"):
+                    for resp in proc.offload(flat_grads):
+                        self.meter.add_host_write(int(resp["host_write"]))
+                        self._absorb_child_traffic(resp)
+                        if resp.get("demoted_now"):
+                            self._absorb_demotion(resp)
+
+                proceed = self.scaler.update(overflow)
+                if proceed:
+                    self.step_count += 1
+                    self._apply_lr_schedule()
+                    with telemetry.trace_span("update",
+                                              workers=self.workers):
+                        recovered = set()
+                        for resp in proc.update(self.step_count,
+                                                self.optimizer.lr):
+                            self.meter.add_host_read(
+                                int(resp["host_read"]))
+                            self._absorb_child_traffic(resp)
+                            if resp.get("demoted_now"):
+                                # The child already salvaged and replayed
+                                # the in-flight pass; absorbing installs
+                                # the recovered FP16 too.
+                                self._absorb_demotion(resp)
+                                recovered.add(int(resp["index"]))
+                        for index in range(self.num_csds):
+                            if index in recovered:
+                                continue
+                            if index in self._host_shards:
+                                self._host_update_shard(
+                                    index, proc.compressed_view(index),
+                                    flat_grads)
+                            else:
+                                self._install_upstream_shard(index)
 
             traffic = self.meter.end_iteration()
             self.loss_history.append(loss)
@@ -637,44 +708,48 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
         would break bit-identity.  A demoted device gets no I/O at all;
         its compressed stream still feeds the host-CPU update path.
         """
+        return self._pool.map_ordered(
+            lambda index: self._offload_device(index, flat_grads),
+            range(self.num_csds))
+
+    def _offload_device(self, index: int, flat_grads: np.ndarray
+                        ) -> Optional[CompressedGradient]:
+        """Offload one shard's gradients to its owner CSD (see
+        :meth:`_offload_gradients` for the resilience contract)."""
         ratio = self.config.compression_ratio
-
-        def offload_one(index: int) -> Optional[CompressedGradient]:
-            device = self.devices[index]
-            shard = self.shards[index]
-            with telemetry.trace_span(
-                    "offload_device", device=index,
-                    resource="host-link-down",
-                    worker=threading.current_thread().name):
-                shard_grads = flat_grads[shard.start:shard.end]
-                compressed = None
-                if ratio is not None:
-                    # The |g| magnitude pass stages in this worker
-                    # thread's arena instead of a fresh shard-sized
-                    # temporary per iteration.
-                    with thread_arena().checkout(shard.count) as scratch:
-                        compressed = compress_with_feedback(
-                            shard_grads, self.feedback[index], ratio,
-                            abs_scratch=scratch)
-                if index in self._host_shards:
-                    return compressed
-                try:
-                    if compressed is None:
-                        device.host_write("grads", shard_grads)
-                        self.meter.add_host_write(4 * shard.count)
-                    else:
-                        device.host_write("comp_indices",
-                                          compressed.indices)
-                        device.host_write("comp_values", compressed.values)
-                        self.meter.add_host_write(compressed.nbytes)
-                except (DeviceFailedError, RetryExhaustedError) as exc:
-                    # No update was in flight, so the device holds a
-                    # consistent post-previous-step shard: demote now and
-                    # let the update phase run this step host-side.
-                    self._demote_device(index, exc)
+        device = self.devices[index]
+        shard = self.shards[index]
+        with telemetry.trace_span(
+                "offload_device", device=index,
+                resource="host-link-down",
+                worker=threading.current_thread().name):
+            shard_grads = flat_grads[shard.start:shard.end]
+            compressed = None
+            if ratio is not None:
+                # The |g| magnitude pass stages in this worker
+                # thread's arena instead of a fresh shard-sized
+                # temporary per iteration.
+                with thread_arena().checkout(shard.count) as scratch:
+                    compressed = compress_with_feedback(
+                        shard_grads, self.feedback[index], ratio,
+                        abs_scratch=scratch)
+            if index in self._host_shards:
                 return compressed
-
-        return self._pool.map_ordered(offload_one, range(self.num_csds))
+            try:
+                if compressed is None:
+                    device.host_write("grads", shard_grads)
+                    self.meter.add_host_write(4 * shard.count)
+                else:
+                    device.host_write("comp_indices",
+                                      compressed.indices)
+                    device.host_write("comp_values", compressed.values)
+                    self.meter.add_host_write(compressed.nbytes)
+            except (DeviceFailedError, RetryExhaustedError) as exc:
+                # No update was in flight, so the device holds a
+                # consistent post-previous-step shard: demote now and
+                # let the update phase run this step host-side.
+                self._demote_device(index, exc)
+            return compressed
 
     def _update_device_guarded(self, index: int,
                                compressed: Optional[CompressedGradient],
@@ -969,6 +1044,7 @@ class SmartInfinityEngine(MixedPrecisionTrainer):
     def _release(self, abandon: bool = False) -> None:
         """Release pool, handlers and devices (safe on partial state)."""
         self._teardown_flight()
+        self._close_spill()
         if getattr(self, "_proc", None) is not None:
             self._proc.close(abandon=abandon)
         if self._pool is not None:

@@ -268,6 +268,15 @@ class ScenarioRunner:
     fault_plan:
         Override the scenario-level (pre-splice) fault plan (the CLI
         ``--fault-plan`` flag); None keeps the scenario's plan.
+    schedule:
+        Override ``config.schedule`` (the CLI ``--schedule`` flag);
+        None keeps the scenario's setting.  Bit-identity between the
+        phased and interleaved pipelines makes this a pure throughput
+        knob, like ``workers``.
+    activation_offload:
+        Override ``config.activation_offload`` (the CLI
+        ``--activation-offload`` flag); None keeps the scenario's
+        setting.
     """
 
     def __init__(self, scenario: Scenario,
@@ -277,7 +286,9 @@ class ScenarioRunner:
                  log_path: Optional[str] = None,
                  workers: Optional[int] = None,
                  slo_rules: Optional[List[Dict[str, object]]] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 schedule: Optional[str] = None,
+                 activation_offload: Optional[str] = None) -> None:
         if fault_plan is not None:
             scenario = scenario.with_base_fault_plan(fault_plan)
         self.scenario = (scenario if chaos_seed is None
@@ -286,6 +297,8 @@ class ScenarioRunner:
         self.backend = backend
         self.workers = workers
         self.slo_rules = slo_rules
+        self.schedule = schedule
+        self.activation_offload = activation_offload
         self._workdir = workdir
         self._log_path = log_path
         self._events: List[Dict[str, object]] = []
@@ -353,6 +366,10 @@ class ScenarioRunner:
             overrides["parallel_backend"] = self.backend
         if self.workers is not None:
             overrides["parallel_csds"] = self.workers
+        if self.schedule is not None:
+            overrides["schedule"] = self.schedule
+        if self.activation_offload is not None:
+            overrides["activation_offload"] = self.activation_offload
         if self.slo_rules is not None:
             overrides["slo_rules"] = [dict(rule)
                                       for rule in self.slo_rules]

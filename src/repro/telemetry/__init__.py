@@ -63,11 +63,14 @@ from .attrib import (Attribution, BottleneckVerdict, COMPUTE,
                      ResourceUsage, attribute, attribute_channels,
                      attribute_spans, merge_intervals)
 from .critpath import (CRITPATH_SCHEMA, CritPathReport, DagEdge, DagNode,
-                       DepGraph, Intervention, PathStep, Projection,
+                       DepGraph, InterleaveValidation, Intervention,
+                       PathStep, Projection,
                        ProjectionValidation, add_csds, compression_ratio,
                        condense as condense_critpath,
-                       default_interventions, project, rank_interventions,
-                       render_projections, scale, validate_scale,
+                       default_interventions, interleave, project,
+                       rank_interventions,
+                       render_projections, scale, validate_interleave,
+                       validate_scale,
                        write_critpath_jsonl)
 from .export import (channels_to_records, chrome_trace, phase_events,
                      record_channel_metrics, record_events, span_events,
@@ -102,6 +105,7 @@ __all__ = [
     "FLIGHT_SCHEMA",
     "FlightRecorder",
     "IncidentDumper",
+    "InterleaveValidation",
     "Intervention",
     "PathStep",
     "ProfileReport",
@@ -120,6 +124,7 @@ __all__ = [
     "condense_critpath",
     "default_interventions",
     "evaluate_attribution",
+    "interleave",
     "load_chrome_trace",
     "load_slo_rules",
     "merge_intervals",
@@ -133,6 +138,7 @@ __all__ = [
     "render_projections",
     "render_top",
     "scale",
+    "validate_interleave",
     "validate_scale",
     "write_critpath_jsonl",
     "write_events_jsonl",

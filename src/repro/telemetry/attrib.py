@@ -258,7 +258,12 @@ def attribute_channels(phase_windows: Sequence[PhaseWindow], channels,
 
 
 #: Engine span names that mark iteration phases in wall-clock traces.
-PHASE_SPAN_NAMES = ("forward_backward", "grad_offload", "update")
+#: ``interleaved_update`` is the fused offload+update span the
+#: interleaved schedule emits in place of the separate ``grad_offload``
+#: and ``update`` phases (the work overlaps, so one wall-clock window
+#: keeps the phases disjoint for :func:`attribute`).
+PHASE_SPAN_NAMES = ("forward_backward", "grad_offload", "update",
+                    "interleaved_update")
 
 
 def attribute_spans(spans, phase_names: Sequence[str] = PHASE_SPAN_NAMES,

@@ -48,7 +48,8 @@ class ProfileReport:
 
 def profile_scenario(model: str = "gpt2-4.0b", csds: int = 10,
                      method: str = "su_o_c", gpu: str = "a5000",
-                     ratio: float = 0.02) -> ProfileReport:
+                     ratio: float = 0.02,
+                     schedule: str = "phased") -> ProfileReport:
     """Simulate one iteration and attribute its time to channels."""
     # Lazy imports: telemetry must stay importable without perf/hw/nn.
     from ..hw.gpu import a100_40g, a4000, a5000
@@ -61,7 +62,7 @@ def profile_scenario(model: str = "gpt2-4.0b", csds: int = 10,
     workload = make_workload(get_model(model))
     system = default_system(num_csds=csds, gpu=gpus[gpu]())
     trace = trace_scenario(system, workload, method,
-                           compression_ratio=ratio)
+                           compression_ratio=ratio, schedule=schedule)
     attribution = attribute_channels(trace.phase_windows,
                                      trace.fabric.all_channels(),
                                      horizon=trace.breakdown.total)
@@ -69,10 +70,11 @@ def profile_scenario(model: str = "gpt2-4.0b", csds: int = 10,
                                    trace.phase_windows)
     return ProfileReport(
         source="sim",
-        label=f"{model}/{method} ({csds} CSDs, {gpu})",
+        label=f"{model}/{method} ({csds} CSDs, {gpu})"
+              + ("" if schedule == "phased" else f", {schedule}"),
         attribution=attribution,
         meta={"model": model, "method": method, "csds": csds,
-              "gpu": gpu, "ratio": ratio,
+              "gpu": gpu, "ratio": ratio, "schedule": schedule,
               "iteration_seconds": trace.breakdown.total},
         critpath=graph.critical_path() if graph.nodes else None)
 

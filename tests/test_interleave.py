@@ -1,0 +1,481 @@
+"""The interleaved execution pipeline: bit-identity, spill, scheduling.
+
+The tentpole claim: ``TrainingConfig.schedule="interleaved"`` changes
+*when* each block's offload+update runs (enqueued as backprop produces
+gradients instead of behind the offload barrier) but never *what* gets
+computed — parameters, metered traffic, fault accounting, and
+checkpoints are bit-identical to the phased schedule across every
+engine, both execution backends, and under chaos.  The activation
+spill/prefetch layer carries the same guarantee: float32 boundaries
+round-trip the SSD-backed store exactly, so spilled training equals
+recompute-mode training bit for bit.  The DES side then quantifies what
+the schedule buys: a strictly shorter su_o_c step at >=2 CSDs, with the
+critical-path ``interleave()`` projection validating under the 5% gate.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import create_engine
+from repro.errors import TrainingError
+from repro.faults import FaultPlan, FaultRule, RetryPolicy
+from repro.nn import (ActivationSpillStore, SequenceClassifier,
+                      activation_spill_scope, active_spill_store,
+                      bert_config, spill_beats_recompute)
+from repro.nn.checkpoint import checkpointed_classifier_loss
+from repro.runtime import CSDWorkerPool, TrainingConfig
+from repro.runtime.bench_history import _config_key, _matches
+from repro.runtime.checkpoint import load_checkpoint, save_checkpoint
+from repro.runtime.interleave import (ACTIVATION_MODES,
+                                      InterleavedScheduler, SCHEDULES,
+                                      resolve_activation_offload,
+                                      resolve_schedule)
+
+
+def loss_fn(model, tokens, labels):
+    return model.loss(tokens, labels)
+
+
+def ckpt_loss_fn(model, tokens, labels):
+    return checkpointed_classifier_loss(model, tokens, labels)
+
+
+def make_model(seed=0, dropout=None):
+    config = bert_config(vocab_size=32, dim=32, num_layers=2,
+                         num_heads=2, max_seq_len=16)
+    if dropout is not None:
+        from dataclasses import replace
+        config = replace(config, dropout=dropout)
+    return SequenceClassifier(config, num_classes=2, seed=seed)
+
+
+def make_batch(seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, 32, size=(4, 16)),
+            rng.integers(0, 2, size=4))
+
+
+def train(mode, tmp_path, tag, steps=3, fn=loss_fn, **config_kwargs):
+    """Train and return (params, traffic tuples, fault stats)."""
+    tokens, labels = make_batch()
+    config = TrainingConfig(
+        optimizer="adam", optimizer_kwargs={"lr": 1e-2},
+        subgroup_elements=4096, **config_kwargs)
+    with create_engine(mode, make_model(), fn,
+                       str(tmp_path / tag) if mode != "host_offload" else None,
+                       config=config) as engine:
+        traffic = [engine.train_step(tokens, labels).traffic
+                   for _ in range(steps)]
+        return (engine.space.gather_params().copy(), traffic,
+                engine.fault_stats())
+
+
+# ----------------------------------------------------------------------
+# config plumbing
+# ----------------------------------------------------------------------
+class TestConfig:
+    def test_schedule_round_trips_through_dict(self):
+        config = TrainingConfig(schedule="interleaved",
+                                activation_offload="auto")
+        clone = TrainingConfig.from_dict(config.to_dict())
+        assert clone.schedule == "interleaved"
+        assert clone.activation_offload == "auto"
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(TrainingError, match="schedule"):
+            resolve_schedule(TrainingConfig(schedule="pipelined"))
+
+    def test_unknown_activation_mode_rejected(self):
+        with pytest.raises(TrainingError, match="activation_offload"):
+            resolve_activation_offload(
+                TrainingConfig(activation_offload="cache"), True)
+
+    def test_auto_resolution_is_engine_contextual(self):
+        auto = TrainingConfig(activation_offload="auto")
+        assert resolve_activation_offload(auto, True) == "spill"
+        assert resolve_activation_offload(auto, False) == "recompute"
+
+    def test_explicit_spill_without_storage_rejected(self):
+        spill = TrainingConfig(activation_offload="spill")
+        with pytest.raises(TrainingError, match="spill"):
+            resolve_activation_offload(spill, False)
+
+    def test_host_engine_rejects_explicit_spill(self):
+        with pytest.raises(TrainingError, match="spill"):
+            create_engine("host_offload", make_model(), loss_fn, None,
+                          config=TrainingConfig(
+                              activation_offload="spill"))
+
+    def test_mode_tuples_cover_the_public_surface(self):
+        assert SCHEDULES == ("phased", "interleaved")
+        assert ACTIVATION_MODES == ("recompute", "spill", "auto")
+
+
+# ----------------------------------------------------------------------
+# the ready-queue scheduler
+# ----------------------------------------------------------------------
+class TestInterleavedScheduler:
+    def test_drain_returns_results_in_submission_order(self):
+        with CSDWorkerPool(2) as pool:
+            sched = InterleavedScheduler(pool)
+            results = sched.run(lambda n: n * n, range(8))
+        assert results == [n * n for n in range(8)]
+
+    def test_inline_pool_executes_immediately(self):
+        order = []
+        with CSDWorkerPool(1) as pool:
+            sched = InterleavedScheduler(pool)
+            sched.submit(order.append, 1)
+            # workers=1 has no backing pool: the work already ran.
+            assert order == [1]
+            sched.drain()
+
+    def test_window_bounds_in_flight_work(self):
+        gate = threading.Event()
+        peak = [0]
+        live = [0]
+        lock = threading.Lock()
+
+        def task(_n):
+            with lock:
+                live[0] += 1
+                peak[0] = max(peak[0], live[0])
+            gate.wait(5.0)
+            with lock:
+                live[0] -= 1
+
+        with CSDWorkerPool(2) as pool:
+            sched = InterleavedScheduler(pool, window=2)
+            threads = [threading.Thread(target=sched.submit,
+                                        args=(task, n))
+                       for n in range(4)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.05)
+            # The window admits 2 tasks; the rest block on backpressure.
+            assert peak[0] <= 2
+            gate.set()
+            for thread in threads:
+                thread.join()
+            sched.drain()
+        assert peak[0] <= 2
+
+    def test_first_error_reraised_after_all_complete(self):
+        done = []
+
+        def task(n):
+            if n == 1:
+                raise ValueError("block 1 failed")
+            done.append(n)
+
+        with CSDWorkerPool(2) as pool:
+            sched = InterleavedScheduler(pool)
+            with pytest.raises(ValueError, match="block 1 failed"):
+                sched.run(task, range(4))
+        # Later blocks were not abandoned mid-flight.
+        assert sorted(done) == [0, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# bit-identity: interleaved == phased, all engines x backends x chaos
+# ----------------------------------------------------------------------
+def assert_same_run(a, b):
+    params_a, traffic_a, faults_a = a
+    params_b, traffic_b, faults_b = b
+    np.testing.assert_array_equal(params_a, params_b)
+    assert [(t.host_reads, t.host_writes, t.internal_reads,
+             t.internal_writes) for t in traffic_a] == \
+           [(t.host_reads, t.host_writes, t.internal_reads,
+             t.internal_writes) for t in traffic_b]
+    for key in ("injected", "retries", "retries_exhausted", "dropouts",
+                "demotions", "degraded_steps"):
+        assert faults_a[key] == faults_b[key], key
+
+
+DROPOUT_PLAN = FaultPlan(seed=3, rules=(
+    FaultRule(kind="device_dropout", device=1, probability=0.10),
+    FaultRule(kind="io_error", probability=0.05),
+))
+
+EXHAUSTION_PLAN = FaultPlan(
+    seed=5,
+    rules=(FaultRule(kind="io_error", device=1, probability=1.0),),
+    retry=RetryPolicy(max_attempts=2, base_delay_s=1e-4,
+                      max_delay_s=1e-3))
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_smart_interleaved_matches_phased_under_dropout(tmp_path,
+                                                        backend):
+    """Chaos dropout mid-pipeline demotes identically on both
+    schedules: fault streams are keyed per device and the per-device
+    op order (offload, then update) is schedule-invariant."""
+    kwargs = dict(num_csds=2, parallel_csds=2, parallel_backend=backend,
+                  compression_ratio=0.05, fault_plan=DROPOUT_PLAN,
+                  steps=4)
+    phased = train("smart", tmp_path, f"p-{backend}",
+                   schedule="phased", **kwargs)
+    interleaved = train("smart", tmp_path, f"i-{backend}",
+                        schedule="interleaved", **kwargs)
+    assert phased[2]["demotions"] == 1  # the plan actually fired
+    assert_same_run(phased, interleaved)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_smart_interleaved_matches_phased_under_retry_exhaustion(
+        tmp_path, backend):
+    """Retry exhaustion (transient faults past the retry budget) is the
+    other demotion cause; salvage must be schedule-independent too."""
+    kwargs = dict(num_csds=2, parallel_csds=2, parallel_backend=backend,
+                  fault_plan=EXHAUSTION_PLAN, steps=3)
+    phased = train("smart", tmp_path, f"px-{backend}",
+                   schedule="phased", **kwargs)
+    interleaved = train("smart", tmp_path, f"ix-{backend}",
+                        schedule="interleaved", **kwargs)
+    assert phased[2]["retries_exhausted"] >= 1
+    assert phased[2]["demotions"] == 1
+    assert_same_run(phased, interleaved)
+
+
+def test_baseline_interleaved_matches_phased(tmp_path):
+    kwargs = dict(raid_members=2, steps=3)
+    assert_same_run(
+        train("baseline", tmp_path, "bp", schedule="phased", **kwargs),
+        train("baseline", tmp_path, "bi", schedule="interleaved",
+              **kwargs))
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_host_interleaved_matches_phased(tmp_path, backend):
+    kwargs = dict(parallel_csds=2, parallel_backend=backend, steps=3)
+    assert_same_run(
+        train("host_offload", tmp_path, "hp", schedule="phased",
+              **kwargs),
+        train("host_offload", tmp_path, "hi", schedule="interleaved",
+              **kwargs))
+
+
+def test_checkpoint_round_trip_mid_interleaved_pipeline(tmp_path):
+    """Save mid-run under the interleaved schedule (process backend),
+    resume under the phased schedule (thread backend): one trajectory.
+
+    The schedule reorders in-step execution only, so a checkpoint taken
+    between steps carries no schedule state — any (schedule, backend)
+    pair must resume any other's checkpoint exactly.
+    """
+    tokens, labels = make_batch()
+
+    def build(tag, schedule, backend):
+        config = TrainingConfig(
+            optimizer="adam", optimizer_kwargs={"lr": 1e-2},
+            subgroup_elements=4096, num_csds=2, parallel_csds=2,
+            parallel_backend=backend, schedule=schedule)
+        return create_engine("smart", make_model(), loss_fn,
+                             str(tmp_path / tag), config=config)
+
+    ckpt = str(tmp_path / "mid.npz")
+    with build("a", "interleaved", "process") as engine:
+        for _ in range(2):
+            engine.train_step(tokens, labels)
+        save_checkpoint(engine, ckpt)
+    with build("b", "phased", "thread") as engine:
+        load_checkpoint(engine, ckpt)
+        for _ in range(2):
+            engine.train_step(tokens, labels)
+        resumed = engine.space.gather_params().copy()
+    with build("c", "phased", "thread") as engine:
+        for _ in range(4):
+            engine.train_step(tokens, labels)
+        straight = engine.space.gather_params().copy()
+    np.testing.assert_array_equal(resumed, straight)
+
+
+# ----------------------------------------------------------------------
+# activation spill
+# ----------------------------------------------------------------------
+class TestActivationSpill:
+    def test_store_round_trips_float32_exactly(self, tmp_path):
+        store = ActivationSpillStore(str(tmp_path))
+        try:
+            rng = np.random.default_rng(0)
+            arrays = [rng.standard_normal((2, 5, 8)).astype(np.float32)
+                      for _ in range(3)]
+            store.begin_step()
+            for index, array in enumerate(arrays):
+                store.put(index, array)
+            store.prefetch(2)
+            for index in range(2, -1, -1):
+                np.testing.assert_array_equal(store.get(index),
+                                              arrays[index])
+                store.prefetch(index - 1)
+                store.release(index)
+            stats = store.stats()
+            assert stats["writes"] == 3 and stats["reads"] == 3
+            assert stats["spilled_bytes"] == stats["fetched_bytes"] == \
+                sum(4 * a.size for a in arrays)
+        finally:
+            store.close()
+
+    def test_store_rejects_non_float32(self, tmp_path):
+        store = ActivationSpillStore(str(tmp_path))
+        try:
+            with pytest.raises(TrainingError, match="float32"):
+                store.put(0, np.zeros(4, dtype=np.float64))
+        finally:
+            store.close()
+
+    def test_scope_installs_and_restores_active_store(self, tmp_path):
+        store = ActivationSpillStore(str(tmp_path))
+        try:
+            assert active_spill_store() is None
+            with activation_spill_scope(store):
+                assert active_spill_store() is store
+            assert active_spill_store() is None
+        finally:
+            store.close()
+
+    @pytest.mark.parametrize("mode", ["spill", "auto"])
+    def test_smart_spill_matches_recompute(self, tmp_path, mode):
+        kwargs = dict(num_csds=2, parallel_csds=2, steps=3,
+                      fn=ckpt_loss_fn, schedule="interleaved")
+        assert_same_run(
+            train("smart", tmp_path, "rc", activation_offload="recompute",
+                  **kwargs),
+            train("smart", tmp_path, f"sp-{mode}",
+                  activation_offload=mode, **kwargs))
+
+    def test_baseline_spill_matches_recompute(self, tmp_path):
+        kwargs = dict(raid_members=2, steps=2, fn=ckpt_loss_fn)
+        assert_same_run(
+            train("baseline", tmp_path, "brc",
+                  activation_offload="recompute", **kwargs),
+            train("baseline", tmp_path, "bsp",
+                  activation_offload="spill", **kwargs))
+
+    def test_host_auto_falls_back_to_recompute(self):
+        engine = create_engine("host_offload", make_model(), loss_fn, None,
+                               config=TrainingConfig(
+                                   activation_offload="auto"))
+        try:
+            assert engine.activation_offload == "recompute"
+        finally:
+            engine.close()
+
+    def test_cost_model_prefers_spill_for_slow_recompute(self):
+        # 1 MB boundary, 10 ms recompute: spill wins easily.
+        assert spill_beats_recompute(1 << 20, 10e-3)
+        # 1 GB boundary, 1 us recompute: transfer dwarfs the redo.
+        assert not spill_beats_recompute(1 << 30, 1e-6)
+
+
+# ----------------------------------------------------------------------
+# DES + critical path
+# ----------------------------------------------------------------------
+class TestSimulatedInterleave:
+    @pytest.mark.parametrize("csds", [2, 4])
+    def test_interleaved_su_o_c_strictly_faster(self, csds):
+        from repro.hw.topology import default_system
+        from repro.nn.models import get_model
+        from repro.perf.scenarios import simulate_iteration
+        from repro.perf.workload import make_workload
+
+        workload = make_workload(get_model("gpt2-1.16b"))
+        system = default_system(num_csds=csds)
+        phased = simulate_iteration(system, workload, "su_o_c",
+                                    schedule="phased")
+        interleaved = simulate_iteration(system, workload, "su_o_c",
+                                         schedule="interleaved")
+        assert interleaved.total < phased.total
+        # The schedule hides update time; fw/bw are untouched.
+        assert interleaved.forward == phased.forward
+        assert interleaved.backward_grad == phased.backward_grad
+
+    def test_interleaved_attribution_tiles_the_step(self):
+        from repro.hw.topology import default_system
+        from repro.nn.models import get_model
+        from repro.perf.scenarios import trace_scenario
+        from repro.perf.workload import make_workload
+        from repro.telemetry.attrib import attribute_channels
+
+        workload = make_workload(get_model("gpt2-1.16b"))
+        system = default_system(num_csds=4)
+        trace = trace_scenario(system, workload, "su_o_c",
+                               schedule="interleaved")
+        # The DES keeps the canonical three phase windows (the gated
+        # update work lands inside the update window; the wall-clock
+        # engines are the ones that emit an interleaved_update span).
+        names = [name for name, _start, _stop in trace.phase_windows]
+        assert names == ["forward", "backward_grad", "update"]
+        for (_n1, _s1, stop), (_n2, start, _s2) in \
+                zip(trace.phase_windows, trace.phase_windows[1:]):
+            assert start >= stop  # windows stay disjoint
+        # ... so attribution tiles exactly.
+        attribution = attribute_channels(
+            trace.phase_windows, trace.fabric.all_channels(),
+            horizon=trace.breakdown.total)
+        assert attribution.conservation_error() <= \
+            1e-9 * trace.breakdown.total
+        # Channel occupancy stays physical (no channel busier than the
+        # step) even with the update traffic overlapped into backward.
+        for usage in attribution.usage.values():
+            assert 0.0 <= usage.busy_seconds <= \
+                trace.breakdown.total * (1 + 1e-9)
+            assert usage.utilization <= 1 + 1e-9
+
+    def test_interleave_projection_validates_under_gate(self):
+        from repro.telemetry import validate_interleave
+
+        validation = validate_interleave(model="gpt2-1.16b", csds=4,
+                                         method="su_o_c")
+        assert validation.error < 0.05
+
+
+# ----------------------------------------------------------------------
+# bench-history fingerprinting
+# ----------------------------------------------------------------------
+class TestBenchFingerprint:
+    def test_config_key_separates_schedules_and_modes(self):
+        run = {"num_csds": 2, "workers": 2, "backend": "thread"}
+        assert _config_key(run) == "2x2"
+        assert _config_key({**run, "schedule": "interleaved"}) == \
+            "2x2+interleaved"
+        assert _config_key({**run, "activation_offload": "spill"}) == \
+            "2x2~spill"
+        assert _config_key({**run, "backend": "process",
+                            "schedule": "interleaved",
+                            "activation_offload": "spill"}) == \
+            "2x2@process+interleaved~spill"
+
+    def test_matches_rejects_cross_schedule_baselines(self):
+        base = {"quick": True, "workload": {"dim": 32},
+                "environment": {"cpu_count": 4, "usable_cpus": 4}}
+        entry = {**base, "environment": {**base["environment"],
+                                         "schedule": "interleaved"}}
+        assert not _matches(entry, base)
+        assert _matches(entry, {**base, "environment": {
+            **base["environment"], "schedule": "interleaved"}})
+        # Legacy entries without the field are phased/recompute runs.
+        phased = {**base, "environment": {**base["environment"],
+                                          "schedule": "phased"}}
+        assert _matches(phased, base)
+
+    def test_report_entry_carries_pipeline_fingerprint(self):
+        from repro.runtime.bench_history import entry_from_report
+
+        report = {
+            "quick": True,
+            "environment": {"cpu_count": 4, "usable_cpus": 4,
+                            "schedule": "interleaved",
+                            "activation_offload": "recompute"},
+            "workload": {"dim": 32},
+            "runs": [{"num_csds": 2, "workers": 2, "backend": "thread",
+                      "schedule": "interleaved",
+                      "activation_offload": "recompute",
+                      "steps_per_second": 10.0}],
+        }
+        entry = entry_from_report(report, timestamp=1.0)
+        assert entry["environment"]["schedule"] == "interleaved"
+        assert "2x2+interleaved" in entry["configs"]
